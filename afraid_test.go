@@ -1,0 +1,189 @@
+package afraid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests exercise the public facade end to end: the functional
+// store, the simulator, the workload catalog, and the availability
+// analytics, all through the exported API only.
+
+func TestPublicStoreLifecycle(t *testing.T) {
+	devs := make([]BlockDevice, 5)
+	for i := range devs {
+		devs[i] = NewMemDevice(1 << 20)
+	}
+	s, err := OpenStore(devs, &MemNVRAM{}, StoreOptions{Mode: StoreAFRAID, DisableScrubber: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	msg := []byte("public api round trip")
+	if _, err := s.WriteAt(msg, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := s.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round trip mismatch")
+	}
+	if s.DirtyStripes() != 1 {
+		t.Fatalf("dirty = %d", s.DirtyStripes())
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.DirtyStripes() != 0 {
+		t.Fatal("flush left dirty stripes")
+	}
+}
+
+func TestPublicSimulateWorkload(t *testing.T) {
+	m, err := SimulateWorkload(DefaultSimConfig(SimAFRAID), "hplajw", 20*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if m.Mode != SimAFRAID {
+		t.Fatalf("mode = %v", m.Mode)
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	p, err := WorkloadParams("snake", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := DefaultSimConfig(SimRAID5).Geometry.Capacity()
+	tr, err := GenerateTrace(p, capacity, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("record count %d != %d", len(got.Records), len(tr.Records))
+	}
+	m, err := SimulateTrace(DefaultSimConfig(SimRAID5), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != uint64(len(got.Records)) {
+		t.Fatalf("completed %d of %d", m.Completed, len(got.Records))
+	}
+}
+
+func TestPublicWorkloadCatalog(t *testing.T) {
+	names := Workloads()
+	if len(names) != 10 {
+		t.Fatalf("catalog has %d workloads, want the paper's 10", len(names))
+	}
+	want := []string{"hplajw", "snake", "cello-usr", "cello-news", "netware",
+		"att", "as400-1", "as400-2", "as400-3", "as400-4"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("catalog order %v, want %v", names, want)
+		}
+	}
+}
+
+func TestPublicAvailabilityFacade(t *testing.T) {
+	ap := DefaultAvailParams()
+	r5 := ap.RAID5Report()
+	af := ap.AFRAIDReport(0.1, 1e6)
+	r0 := ap.RAID0Report()
+	if !(r0.OverallMTTDL < af.OverallMTTDL && af.OverallMTTDL < r5.OverallMTTDL) {
+		t.Fatalf("ordering violated: %g %g %g", r0.OverallMTTDL, af.OverallMTTDL, r5.OverallMTTDL)
+	}
+	pw := PowerModel{MainsMTTF: 4300, WriteDuty: 0.1, LossBytes: 30e3}
+	if pw.MTTDL() != 43000 {
+		t.Fatalf("power MTTDL = %g", pw.MTTDL())
+	}
+}
+
+func TestPublicDiskModel(t *testing.T) {
+	p := DiskModelC3325()
+	if p.RPM != 5400 {
+		t.Fatalf("RPM = %d", p.RPM)
+	}
+	if p.CapacityBytes() < 2e9 {
+		t.Fatalf("capacity = %d", p.CapacityBytes())
+	}
+}
+
+func TestPublicSimModesComparable(t *testing.T) {
+	// The paper's headline, through the public API only.
+	p, _ := WorkloadParams("cello-news", 30*time.Second)
+	capacity := DefaultSimConfig(SimRAID5).Geometry.Capacity()
+	tr, err := GenerateTrace(p, capacity, 1996)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := SimulateTrace(DefaultSimConfig(SimRAID5), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := SimulateTrace(DefaultSimConfig(SimAFRAID), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af.MeanIOTime >= r5.MeanIOTime {
+		t.Fatalf("AFRAID %v not faster than RAID5 %v", af.MeanIOTime, r5.MeanIOTime)
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	cfg := DefaultSimConfig(SimAFRAID)
+	cfg.Geometry.DiskSize = 8 << 20 // small array for a fast sweep
+	cfg.Fault = SimFault{At: 500 * time.Millisecond, Disk: 2, SpareRebuild: true}
+	m, err := SimulateWorkload(cfg, "hplajw", 20*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FailedAt == 0 {
+		t.Fatal("fault not injected")
+	}
+	if m.RebuildDoneAt <= m.FailedAt {
+		t.Fatal("spare rebuild did not complete")
+	}
+}
+
+func TestPublicRAID6Store(t *testing.T) {
+	devs := make([]BlockDevice, 6)
+	for i := range devs {
+		devs[i] = NewMemDevice(1 << 20)
+	}
+	s, err := OpenStore(devs, &MemNVRAM{}, StoreOptions{Mode: StoreAFRAID6, DisableScrubber: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	msg := []byte("double parity, single deferral")
+	if _, err := s.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Defer-Q: survives a failure even while dirty.
+	if err := s.FailDisk(s.Geometry().DataDisk(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := s.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("reconstructed data mismatch")
+	}
+}

@@ -1,0 +1,77 @@
+// Command availcalc reproduces the paper's §3 analytic availability
+// arithmetic: Table 1 constants, RAID 5/RAID 0/AFRAID MTTDL and MDLR,
+// the support-component and NVRAM comparisons, and the §3.5 power model.
+//
+// Usage:
+//
+//	availcalc                 # full §3 walkthrough
+//	availcalc -frac 0.1 -lag 2e6   # AFRAID report for measured inputs
+//	availcalc -power          # §3.5 power-failure arithmetic
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"afraid"
+)
+
+func main() {
+	frac := flag.Float64("frac", -1, "measured unprotected-time fraction (Tunprot/Ttotal)")
+	lag := flag.Float64("lag", 0, "measured mean parity lag in bytes")
+	power := flag.Bool("power", false, "show the §3.5 power-failure model only")
+	table1 := flag.Bool("table1", false, "show the Table 1 constants only")
+	flag.Parse()
+
+	p := afraid.DefaultAvailParams()
+
+	if *table1 {
+		fmt.Printf("Table 1 parameter values:\n")
+		fmt.Printf("  disk MTTF (raw)            %.3g h\n", p.DiskMTTFRaw)
+		fmt.Printf("  support hardware MTTDL     %.3g h\n", p.SupportMTTDL)
+		fmt.Printf("  failure-prediction coverage %.2f\n", p.Coverage)
+		fmt.Printf("  mean time to repair        %.0f h\n", p.MTTR)
+		fmt.Printf("  stripe unit size           %.0f bytes\n", p.StripeUnit)
+		fmt.Printf("  disk size                  %.3g bytes\n", p.DiskSize)
+		fmt.Printf("  disks                      %d (N=%d)\n", p.Disks, p.N())
+		return
+	}
+
+	if *power {
+		pw := afraid.PowerModel{MainsMTTF: 4300, WriteDuty: 0.10, LossBytes: 30e3}
+		fmt.Printf("external power (mains MTTF 4300 h, 10%% write duty):\n")
+		fmt.Printf("  MTTDL %.3g h (paper: 43k)\n", pw.MTTDL())
+		fmt.Printf("  MDLR  %.2g B/h (paper: ~0.7, roughly doubling the disk MDLR)\n", pw.MDLR())
+		pw.UPSMTTF = 200e3
+		fmt.Printf("with a 200k-hour UPS:\n")
+		fmt.Printf("  MTTDL %.3g h (paper: back to 2M)\n", pw.MTTDL())
+		return
+	}
+
+	if *frac >= 0 {
+		rep := p.AFRAIDReport(*frac, *lag)
+		fmt.Printf("AFRAID with measured frac=%.4f, lag=%.3g bytes:\n", *frac, *lag)
+		fmt.Printf("  disk-related MTTDL  %.4g h\n", rep.DiskMTTDL)
+		fmt.Printf("  overall MTTDL       %.4g h (support-limited at %.3g h)\n", rep.OverallMTTDL, p.SupportMTTDL)
+		fmt.Printf("  disk-related MDLR   %.4g B/h\n", rep.DiskMDLR)
+		fmt.Printf("  overall MDLR        %.4g B/h\n", rep.OverallMDLR)
+		return
+	}
+
+	fmt.Printf("Section 3 walkthrough (Table 1 parameters, %d-disk array):\n\n", p.Disks)
+	fmt.Printf("effective disk MTTF (coverage %.1f): %.3g h\n", p.Coverage, p.DiskMTTF())
+	fmt.Printf("eq (1) RAID5 catastrophic MTTDL:    %.3g h (~%.0f years; paper: ~4e9 h, 475,000 years)\n",
+		p.RAID5CatastrophicMTTDL(), p.RAID5CatastrophicMTTDL()/8760)
+	fmt.Printf("eq (3) RAID5 catastrophic MDLR:     %.2g B/h (paper: ~0.8)\n", p.RAID5CatastrophicMDLR())
+	fmt.Printf("RAID0 disk MTTDL:                   %.3g h\n", p.RAID0DiskMTTDL())
+	fmt.Printf("RAID0 MDLR:                         %.3g B/h\n", p.RAID0MDLR())
+	fmt.Printf("support MDLR at 2M h:               %.3g B/h (paper: 4.0 KB/h)\n", p.SupportMDLR())
+	fmt.Printf("PrestoServe NVRAM (1MB @ 15k h):    %.3g B/h (paper: 67)\n", 1e6/15e3)
+	fmt.Printf("\nAFRAID exposure examples (eq 2, eq 4):\n")
+	for _, f := range []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.0} {
+		rep := p.AFRAIDReport(f, 1e6)
+		fmt.Printf("  frac=%.2f: disk MTTDL %.3g h, overall %.3g h\n", f, rep.DiskMTTDL, rep.OverallMTTDL)
+	}
+	fmt.Printf("\nlesson (§3.3): overall availability is dominated by the support hardware,\n")
+	fmt.Printf("so trading disk-layer redundancy for performance is nearly free.\n")
+}

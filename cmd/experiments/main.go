@@ -1,0 +1,116 @@
+// Command experiments regenerates the paper's evaluation: Table 2 /
+// Figure 2 (relative performance), Table 3 and Table 4 (availability),
+// Figure 3 (performance/availability tradeoff), Figure 4 (per-trace
+// policy curves), and the DESIGN.md ablation sweeps.
+//
+// Usage:
+//
+//	experiments [-exp all|table2|table3|table4|fig3|fig4|ablation] [-dur 60s] [-seed 1996]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"afraid/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: all, table2, table3, table4, fig3, fig4, ablation")
+	dur := flag.Duration("dur", 60*time.Second, "synthetic trace duration per workload")
+	seed := flag.Uint64("seed", 1996, "workload generator seed")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	flag.Parse()
+
+	cfg := exp.Config{Duration: *dur, Seed: *seed}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+
+	needGrid := map[string]bool{"all": true, "table2": true, "table3": true, "table4": true, "fig3": true, "fig4": true}
+	var grid *exp.Grid
+	if needGrid[*which] {
+		g, err := exp.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		grid = g
+	}
+
+	switch *which {
+	case "all":
+		fmt.Println(grid.Table2())
+		fmt.Println(grid.Table3())
+		fmt.Println(grid.Table4())
+		fmt.Println(grid.Figure3Text())
+		fmt.Println(grid.Figure4Text())
+		runAblations(*dur, *seed)
+	case "table2":
+		fmt.Println(grid.Table2())
+	case "table3":
+		fmt.Println(grid.Table3())
+	case "table4":
+		fmt.Println(grid.Table4())
+	case "fig3":
+		fmt.Println(grid.Figure3Text())
+	case "fig4":
+		fmt.Println(grid.Figure4Text())
+	case "ablation":
+		runAblations(*dur, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+func runAblations(dur time.Duration, seed uint64) {
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	idle, err := exp.IdleDelaySweep("cello-usr", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderAblation("Ablation: idle-detection threshold (cello-usr)", idle))
+
+	th, err := exp.DirtyThresholdSweep("att", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderAblation("Ablation: dirty-stripe threshold (att)", th))
+
+	co, err := exp.CoalesceSweep("netware", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderAblation("Ablation: adjacent-stripe rebuild coalescing (netware)", co))
+
+	ad, err := exp.AdaptiveIdleSweep("cello-usr", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderAblation("Ablation: idle detector (cello-usr)", ad))
+
+	width, err := exp.WidthSweep("cello-usr", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderWidth(width))
+
+	gran, err := exp.GranularitySweep("cello-news", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderAblation("Extension (§5): sub-stripe marking granularity (cello-news)", gran))
+
+	cons, err := exp.ConservativeSweep("att", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderAblation("Extension (§5): conservative start (att)", cons))
+
+	rel, err := exp.RelatedWorkSweep("att", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderRelatedWork("att", rel))
+
+	r6, err := exp.RAID6Sweep("att", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderRAID6("att", r6))
+
+	deg, err := exp.DegradedSweep("cello-usr", dur, seed)
+	check(err)
+	fmt.Println(exp.RenderDegraded("cello-usr", deg))
+}

@@ -1,0 +1,62 @@
+// Command tracegen emits a synthetic workload trace in the text format
+// (one record per line: "<time_us> <R|W> <offset> <length>").
+//
+// Usage:
+//
+//	tracegen -workload att -dur 5m -seed 7 > att.trace
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"afraid"
+)
+
+func main() {
+	workload := flag.String("workload", "cello-usr", "named workload from the catalog")
+	dur := flag.Duration("dur", 5*time.Minute, "trace duration")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	capacity := flag.Int64("capacity", 0, "client capacity in bytes (default: the paper's 5-disk RAID 5)")
+	list := flag.Bool("list", false, "list catalog workloads and their parameters")
+	flag.Parse()
+
+	if *list {
+		for _, name := range afraid.Workloads() {
+			p, err := afraid.WorkloadParams(name, *dur)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-11s burst=%.0f intra=%v idle>=%v(alpha %.2f) writes=%.0f%% footprint=%.0f%%\n",
+				name, p.MeanBurst, p.IntraGap, p.IdleMin, p.IdleAlpha,
+				100*p.WriteFrac, 100*p.FootprintFrac)
+		}
+		return
+	}
+
+	cap := *capacity
+	if cap == 0 {
+		cap = afraid.DefaultSimConfig(afraid.SimRAID5).Geometry.Capacity()
+	}
+	p, err := afraid.WorkloadParams(*workload, *dur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	tr, err := afraid.GenerateTrace(p, cap, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := tr.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	s := tr.Stats()
+	fmt.Fprintf(os.Stderr, "tracegen: %d requests over %v (%.1f/s, %.0f%% writes, mean %d bytes)\n",
+		s.Requests, s.Duration.Round(time.Second), s.MeanRate, 100*s.WriteFrac, s.MeanSize)
+}

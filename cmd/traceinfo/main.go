@@ -1,0 +1,75 @@
+// Command traceinfo prints the burst/idle structure of a trace — the
+// property AFRAID exploits. It reads a trace file or analyzes a named
+// catalog workload.
+//
+// Usage:
+//
+//	traceinfo -workload hplajw -dur 5m
+//	traceinfo -file att.trace
+//	traceinfo -all            # the whole catalog side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"afraid"
+)
+
+func main() {
+	workload := flag.String("workload", "", "named catalog workload")
+	file := flag.String("file", "", "trace file to analyze")
+	dur := flag.Duration("dur", 5*time.Minute, "duration for generated workloads")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	gap := flag.Duration("gap", 0, "idle-gap threshold (default 250ms)")
+	all := flag.Bool("all", false, "summarize every catalog workload")
+	flag.Parse()
+
+	capacity := afraid.DefaultSimConfig(afraid.SimRAID5).Geometry.Capacity()
+	load := func(name string) *afraid.Trace {
+		p, err := afraid.WorkloadParams(name, *dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		tr, err := afraid.GenerateTrace(p, capacity, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		return tr
+	}
+
+	switch {
+	case *all:
+		fmt.Printf("%-11s %8s %8s %9s %10s %10s %10s\n",
+			"workload", "reqs", "writes%", "rate/s", "burstlen", "idle%", "p95gap")
+		for _, name := range afraid.Workloads() {
+			s := load(name).Analyze(*gap)
+			fmt.Printf("%-11s %8d %7.0f%% %9.1f %10.1f %9.1f%% %10v\n",
+				name, s.Requests, 100*s.WriteFrac, s.MeanRate,
+				s.MeanBurstLen, 100*s.IdleFrac, s.P95IdleGap.Round(time.Millisecond))
+		}
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		tr, err := afraid.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace %s\n%s", tr.Name, tr.Analyze(*gap))
+	case *workload != "":
+		tr := load(*workload)
+		fmt.Printf("workload %s over %v\n%s", *workload, *dur, tr.Analyze(*gap))
+	default:
+		fmt.Fprintln(os.Stderr, "traceinfo: give -workload, -file, or -all")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,72 @@
+package afraid_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"afraid"
+)
+
+// The functional store in five lines: open over block devices, write
+// (one disk I/O — no parity in the critical path), then make the array
+// fully redundant with a parity point.
+func ExampleOpenStore() {
+	devs := make([]afraid.BlockDevice, 5)
+	for i := range devs {
+		devs[i] = afraid.NewMemDevice(1 << 20)
+	}
+	store, err := afraid.OpenStore(devs, &afraid.MemNVRAM{}, afraid.StoreOptions{
+		Mode:            afraid.StoreAFRAID,
+		DisableScrubber: true, // explicit parity points for the example
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	store.WriteAt([]byte("frequently redundant"), 0)
+	fmt.Println("dirty stripes after write:", store.DirtyStripes())
+	store.Flush()
+	fmt.Println("dirty stripes after flush:", store.DirtyStripes())
+	// Output:
+	// dirty stripes after write: 1
+	// dirty stripes after flush: 0
+}
+
+// Replaying a catalog workload on the simulated array reproduces the
+// paper's measurements; here RAID 5's small-update penalty shows up
+// directly against AFRAID on the same trace.
+func ExampleSimulateTrace() {
+	p, err := afraid.WorkloadParams("cello-news", 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := afraid.DefaultSimConfig(afraid.SimRAID5).Geometry.Capacity()
+	tr, err := afraid.GenerateTrace(p, capacity, 1996)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r5, _ := afraid.SimulateTrace(afraid.DefaultSimConfig(afraid.SimRAID5), tr)
+	af, _ := afraid.SimulateTrace(afraid.DefaultSimConfig(afraid.SimAFRAID), tr)
+	fmt.Println("AFRAID faster:", af.MeanIOTime < r5.MeanIOTime)
+	fmt.Println("exposed part of the run:", af.FracUnprotected > 0)
+	// Output:
+	// AFRAID faster: true
+	// exposed part of the run: true
+}
+
+// The §3 analytics answer "how much availability is enough" without any
+// simulation.
+func ExampleAvailParams() {
+	p := afraid.DefaultAvailParams()
+	fmt.Printf("RAID5 disk-related MTTDL: %.3g hours\n", p.RAID5CatastrophicMTTDL())
+	fmt.Printf("overall, support-limited: %.3g hours\n", p.OverallMTTDL(p.RAID5CatastrophicMTTDL()))
+	// An AFRAID run measured 10%% unprotected time and 1 MB mean lag:
+	rep := p.AFRAIDReport(0.10, 1e6)
+	fmt.Printf("AFRAID overall: %.3g hours\n", rep.OverallMTTDL)
+	// Output:
+	// RAID5 disk-related MTTDL: 4.17e+09 hours
+	// overall, support-limited: 2e+06 hours
+	// AFRAID overall: 1.33e+06 hours
+}

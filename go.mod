@@ -1,0 +1,3 @@
+module afraid
+
+go 1.22

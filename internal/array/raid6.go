@@ -1,0 +1,205 @@
+package array
+
+import (
+	"afraid/internal/layout"
+)
+
+// §5 extension: "A RAID 6 array keeps two parity blocks for each
+// stripe, and thus pays an even higher penalty for doing small updates
+// than does RAID 5. The AFRAID technique could be combined with the
+// RAID 6 parity scheme to delay either or both parity-block updates: if
+// only one was deferred, partial redundancy protection would be
+// available immediately, and full redundancy once the parity-rebuild
+// happened for the other parity block."
+//
+// Modes implemented here:
+//
+//   - RAID6: synchronous P and Q — a small write costs six I/Os
+//     (read old data, old P, old Q; write data, P, Q);
+//   - AFRAID6 with QDefer=DeferQ: data and P written synchronously
+//     (RAID 5-grade protection immediately), Q rebuilt in idle periods;
+//   - AFRAID6 with QDefer=DeferBoth: data only, both parities deferred
+//     (the full AFRAID fast path, full double-failure exposure while
+//     dirty).
+
+// QDeferPolicy selects which RAID 6 parity updates AFRAID6 defers.
+type QDeferPolicy int
+
+const (
+	// DeferQ defers only the Q update; the stripe keeps single-failure
+	// protection at all times.
+	DeferQ QDeferPolicy = iota
+	// DeferBoth defers P and Q; writes cost one I/O as in plain AFRAID.
+	DeferBoth
+)
+
+// String returns the policy name.
+func (q QDeferPolicy) String() string {
+	if q == DeferBoth {
+		return "defer-both"
+	}
+	return "defer-q"
+}
+
+// writeSpanRAID6 performs the synchronous double-parity small-update
+// protocol for one stripe span.
+func (a *Array) writeSpanRAID6(r *request, sp layout.StripeSpan) {
+	a.writeSpanParity6(r, sp, true, true)
+}
+
+// writeSpanAFRAID6 dispatches per the Q-deferral policy, marking the
+// stripe so the rebuilder knows which parities are stale.
+func (a *Array) writeSpanAFRAID6(r *request, sp layout.StripeSpan) {
+	a.markDirty(sp.Stripe)
+	switch a.cfg.QDefer {
+	case DeferBoth:
+		a.writeSpanDataOnly(r, sp)
+	default: // DeferQ: synchronous P, deferred Q
+		a.writeSpanParity6(r, sp, true, false)
+	}
+	a.checkDirtyThreshold()
+}
+
+// writeSpanParity6 is the generalized parity-maintaining write: data
+// writes always happen; P and/or Q are read-modify-written (or computed
+// without pre-reads for full-stripe and reconstruct writes) according
+// to withP/withQ. The request completes when every included parity
+// write has landed.
+func (a *Array) writeSpanParity6(r *request, sp layout.StripeSpan, withP, withQ bool) {
+	a.noteWriteActive(sp.Stripe)
+	stripe := sp.Stripe
+	pDisk := a.geo.ParityDisk(stripe)
+	qDisk := a.geo.QDisk(stripe)
+	pOff := a.geo.DiskOffset(stripe)
+	unit := a.geo.StripeUnit
+
+	covered := make(map[int]bool, len(sp.Extents))
+	partial := false
+	for _, e := range sp.Extents {
+		covered[e.DataIdx] = true
+		if e.Len != unit {
+			partial = true
+		}
+	}
+	full := len(covered) == a.geo.DataDisks() && !partial
+	reconstruct := !full && !partial && len(covered) > a.geo.DataDisks()/2
+
+	// Reserve the parity writes up front (see writeSpanRAID5).
+	nParity := 0
+	if withP {
+		nParity++
+	}
+	if withQ && qDisk >= 0 {
+		nParity++
+	}
+	r.remaining += nParity
+
+	writeParities := func() {
+		if withP {
+			a.issueParityWrite(r, stripe, pDisk, pOff, unit)
+		}
+		if withQ && qDisk >= 0 {
+			a.issueParityWrite(r, stripe, qDisk, pOff, unit)
+		}
+	}
+
+	deps := 0
+	issuePre := func(d int, op diskOp) {
+		deps++
+		op.done = func() {
+			deps--
+			if deps == 0 {
+				writeParities()
+			}
+		}
+		a.issue(d, op)
+	}
+
+	switch {
+	case full:
+		// No pre-reads: both parities computed from the new data.
+	case reconstruct:
+		for i := 0; i < a.geo.DataDisks(); i++ {
+			if covered[i] {
+				continue
+			}
+			issuePre(a.geo.DataDisk(stripe, i), diskOp{off: pOff, n: unit})
+		}
+	default:
+		// Read-modify-write: old data plus each old parity included.
+		for _, e := range sp.Extents {
+			if a.cache.OldDataCached(e.ArrOff, e.Len) {
+				continue
+			}
+			issuePre(e.Disk, diskOp{off: e.DiskOff, n: e.Len})
+		}
+		if withP {
+			issuePre(pDisk, diskOp{off: pOff, n: unit})
+		}
+		if withQ && qDisk >= 0 {
+			issuePre(qDisk, diskOp{off: pOff, n: unit})
+		}
+	}
+
+	pendingData := len(sp.Extents)
+	for _, e := range sp.Extents {
+		e := e
+		r.remaining++
+		a.issue(e.Disk, diskOp{write: true, off: e.DiskOff, n: e.Len, done: func() {
+			pendingData--
+			if pendingData == 0 {
+				a.noteWriteDone(sp.Stripe)
+			}
+			a.finishOne(r)
+		}})
+	}
+
+	if deps == 0 {
+		writeParities()
+	}
+}
+
+// rebuildStripe6 rebuilds the deferred parity block(s) of a dirty
+// stripe in an AFRAID6 array: read all data units, then write Q (and P
+// when both were deferred).
+func (a *Array) rebuildStripe6(stripe int64) {
+	unit := a.geo.StripeUnit
+	off := a.geo.DiskOffset(stripe)
+	deps := a.geo.DataDisks()
+	for i := 0; i < a.geo.DataDisks(); i++ {
+		d := a.geo.DataDisk(stripe, i)
+		a.issue(d, diskOp{off: off, n: unit, done: func() {
+			deps--
+			if deps == 0 {
+				a.writeRebuiltParity6(stripe, off, unit)
+			}
+		}})
+	}
+}
+
+// writeRebuiltParity6 writes the recomputed deferred parities and
+// closes out the stripe.
+func (a *Array) writeRebuiltParity6(stripe int64, off, unit int64) {
+	writes := 1 // Q is always stale
+	if a.cfg.QDefer == DeferBoth {
+		writes = 2
+	}
+	done := func() {
+		writes--
+		if writes > 0 {
+			return
+		}
+		a.markClean(stripe)
+		a.rebuilt++
+		if a.forced {
+			a.forcedBuilt++
+		}
+		a.unlockStripe(stripe)
+		a.updateMTTDLPolicy()
+		a.episodeDone(stripe)
+	}
+	a.issue(a.geo.QDisk(stripe), diskOp{write: true, off: off, n: unit, done: done})
+	if a.cfg.QDefer == DeferBoth {
+		a.issue(a.geo.ParityDisk(stripe), diskOp{write: true, off: off, n: unit, done: done})
+	}
+}

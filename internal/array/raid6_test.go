@@ -1,0 +1,83 @@
+package array
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRAID6Conservation(t *testing.T) {
+	for _, mode := range []Mode{RAID6, AFRAID6} {
+		cfg := DefaultConfig(mode)
+		tr := smallWriteTrace(200, 20*time.Millisecond, 0, cfg.Geometry.Capacity())
+		m := mustRun(t, cfg, tr)
+		if m.Completed != uint64(len(tr.Records)) {
+			t.Fatalf("%v: completed %d/%d", mode, m.Completed, len(tr.Records))
+		}
+	}
+}
+
+func TestRAID6SlowerThanRAID5(t *testing.T) {
+	// §5: RAID 6 "pays an even higher penalty for doing small updates
+	// than does RAID 5" — six I/Os vs four.
+	cfg6 := DefaultConfig(RAID6)
+	tr := smallWriteTrace(400, 15*time.Millisecond, 0, cfg6.Geometry.Capacity())
+	m6 := mustRun(t, cfg6, tr)
+	m5 := mustRun(t, DefaultConfig(RAID5), tr)
+	if m6.MeanIOTime <= m5.MeanIOTime {
+		t.Fatalf("RAID6 %v not slower than RAID5 %v", m6.MeanIOTime, m5.MeanIOTime)
+	}
+}
+
+func TestAFRAID6DeferQBetweenRAID6AndDeferBoth(t *testing.T) {
+	cfg := DefaultConfig(AFRAID6)
+	tr := smallWriteTrace(400, 15*time.Millisecond, time.Second, cfg.Geometry.Capacity())
+
+	m6 := mustRun(t, DefaultConfig(RAID6), tr)
+
+	dq := DefaultConfig(AFRAID6)
+	dq.QDefer = DeferQ
+	mq := mustRun(t, dq, tr)
+
+	db := DefaultConfig(AFRAID6)
+	db.QDefer = DeferBoth
+	mb := mustRun(t, db, tr)
+
+	// Deferring Q removes two of the six I/Os; deferring both removes
+	// four more. Strict ordering must hold.
+	if !(mb.MeanIOTime < mq.MeanIOTime && mq.MeanIOTime < m6.MeanIOTime) {
+		t.Fatalf("ordering violated: defer-both %v, defer-q %v, raid6 %v",
+			mb.MeanIOTime, mq.MeanIOTime, m6.MeanIOTime)
+	}
+}
+
+func TestAFRAID6RebuildsDrainDirty(t *testing.T) {
+	for _, q := range []QDeferPolicy{DeferQ, DeferBoth} {
+		cfg := DefaultConfig(AFRAID6)
+		cfg.QDefer = q
+		tr := smallWriteTrace(50, 10*time.Millisecond, 5*time.Second, cfg.Geometry.Capacity())
+		m := mustRun(t, cfg, tr)
+		if m.DirtyAtEnd != 0 {
+			t.Fatalf("%v: %d stripes still dirty", q, m.DirtyAtEnd)
+		}
+		if m.RebuiltStripes == 0 {
+			t.Fatalf("%v: nothing rebuilt", q)
+		}
+		if m.FracUnprotected <= 0 || m.FracUnprotected >= 1 {
+			t.Fatalf("%v: frac = %g", q, m.FracUnprotected)
+		}
+	}
+}
+
+func TestRAID6CapacitySmaller(t *testing.T) {
+	c5 := DefaultConfig(RAID5).Geometry.Capacity()
+	c6 := DefaultConfig(RAID6).Geometry.Capacity()
+	if c6 >= c5 {
+		t.Fatalf("RAID6 capacity %d not below RAID5 %d", c6, c5)
+	}
+}
+
+func TestQDeferPolicyString(t *testing.T) {
+	if DeferQ.String() != "defer-q" || DeferBoth.String() != "defer-both" {
+		t.Fatal("policy names wrong")
+	}
+}

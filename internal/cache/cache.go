@@ -1,0 +1,206 @@
+// Package cache models the array controller's caches in the paper's
+// deliberately small configuration: a 256 KB write-through staging area
+// and a 256 KB read cache with no readahead. For the performance
+// simulator only block *presence* matters (hits avoid pre-reads in the
+// RAID 5 read-modify-write path), so the cache tracks membership, not
+// contents.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// LRU is a fixed-capacity set of block numbers with least-recently-used
+// eviction.
+type LRU struct {
+	capacity int
+	ll       *list.List
+	items    map[int64]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+// NewLRU creates a cache holding up to capacity blocks (>= 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: capacity %d must be >= 1", capacity))
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[int64]*list.Element, capacity),
+	}
+}
+
+// Capacity returns the block capacity.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Len returns the number of cached blocks.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Contains reports membership and records a hit or miss, promoting the
+// block on a hit.
+func (c *LRU) Contains(block int64) bool {
+	if e, ok := c.items[block]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Peek reports membership without promoting or counting.
+func (c *LRU) Peek(block int64) bool {
+	_, ok := c.items[block]
+	return ok
+}
+
+// Insert adds a block (promoting it if present), evicting the LRU block
+// when full. It returns the evicted block and whether an eviction
+// happened.
+func (c *LRU) Insert(block int64) (evicted int64, did bool) {
+	if e, ok := c.items[block]; ok {
+		c.ll.MoveToFront(e)
+		return 0, false
+	}
+	if c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		old := back.Value.(int64)
+		c.ll.Remove(back)
+		delete(c.items, old)
+		evicted, did = old, true
+	}
+	c.items[block] = c.ll.PushFront(block)
+	return evicted, did
+}
+
+// Invalidate removes a block if present.
+func (c *LRU) Invalidate(block int64) {
+	if e, ok := c.items[block]; ok {
+		c.ll.Remove(e)
+		delete(c.items, block)
+	}
+}
+
+// Stats returns (hits, misses) accumulated by Contains.
+func (c *LRU) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// HitRate returns the fraction of Contains calls that hit.
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Controller bundles the paper's two array caches, indexed by array
+// block number (client address / block size).
+type Controller struct {
+	blockSize int64
+	read      *LRU
+	write     *LRU
+}
+
+// Config sizes the controller caches in bytes.
+type Config struct {
+	BlockSize  int64 // cache granularity, typically the stripe unit
+	ReadBytes  int64 // read cache size (paper: 256 KB)
+	WriteBytes int64 // write staging size (paper: 256 KB, write-through)
+}
+
+// DefaultConfig returns the paper's configuration for an 8 KB stripe
+// unit.
+func DefaultConfig() Config {
+	return Config{BlockSize: 8 << 10, ReadBytes: 256 << 10, WriteBytes: 256 << 10}
+}
+
+// NewController builds the cache pair.
+func NewController(cfg Config) *Controller {
+	if cfg.BlockSize <= 0 {
+		panic(fmt.Sprintf("cache: block size %d must be positive", cfg.BlockSize))
+	}
+	rb := int(cfg.ReadBytes / cfg.BlockSize)
+	wb := int(cfg.WriteBytes / cfg.BlockSize)
+	if rb < 1 || wb < 1 {
+		panic("cache: cache sizes must hold at least one block")
+	}
+	return &Controller{
+		blockSize: cfg.BlockSize,
+		read:      NewLRU(rb),
+		write:     NewLRU(wb),
+	}
+}
+
+// BlockSize returns the cache granularity in bytes.
+func (c *Controller) BlockSize() int64 { return c.blockSize }
+
+// blockOf returns the block number containing addr.
+func (c *Controller) blockOf(addr int64) int64 { return addr / c.blockSize }
+
+// blocksOf enumerates block numbers overlapping [addr, addr+length).
+func (c *Controller) blocksOf(addr, length int64) []int64 {
+	if length <= 0 {
+		return nil
+	}
+	first := c.blockOf(addr)
+	last := c.blockOf(addr + length - 1)
+	out := make([]int64, 0, last-first+1)
+	for b := first; b <= last; b++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// ReadHit reports whether the whole range is served from either cache
+// (read hits in the array were rare in the traced systems; the paper's
+// caches are deliberately small).
+func (c *Controller) ReadHit(addr, length int64) bool {
+	hit := true
+	for _, b := range c.blocksOf(addr, length) {
+		inWrite := c.write.Peek(b)
+		if !c.read.Contains(b) && !inWrite {
+			hit = false
+		}
+	}
+	return hit
+}
+
+// FillRead records that the range was read from disk into the read cache.
+func (c *Controller) FillRead(addr, length int64) {
+	for _, b := range c.blocksOf(addr, length) {
+		c.read.Insert(b)
+	}
+}
+
+// Write records a client write passing through the staging buffer
+// (write-through: it is also sent to disk by the caller).
+func (c *Controller) Write(addr, length int64) {
+	for _, b := range c.blocksOf(addr, length) {
+		c.write.Insert(b)
+		// Keep the read cache coherent: the staged copy is newest.
+		c.read.Invalidate(b)
+	}
+}
+
+// OldDataCached reports whether the pre-image of the whole range is
+// available in the controller (avoiding the old-data pre-read of the
+// RAID 5 small-update protocol).
+func (c *Controller) OldDataCached(addr, length int64) bool {
+	hit := true
+	for _, b := range c.blocksOf(addr, length) {
+		if !c.write.Contains(b) && !c.read.Peek(b) {
+			hit = false
+		}
+	}
+	return hit
+}
+
+// ReadStats returns the read cache's (hits, misses).
+func (c *Controller) ReadStats() (uint64, uint64) { return c.read.Stats() }
+
+// WriteStats returns the write staging buffer's (hits, misses).
+func (c *Controller) WriteStats() (uint64, uint64) { return c.write.Stats() }

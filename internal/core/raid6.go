@@ -1,0 +1,522 @@
+package core
+
+import (
+	"fmt"
+
+	"afraid/internal/layout"
+	"afraid/internal/parity"
+)
+
+// RAID 6 / AFRAID6 support for the functional store (§5 extension):
+// Raid6 maintains P and Q synchronously; Afraid6 defers the Q update
+// (or both, with Options.DeferBothParities) to the scrubber. Deferring
+// only Q keeps every stripe single-failure recoverable at all times —
+// the "partial redundancy protection available immediately" point of
+// the paper — while still removing most of the small-update penalty.
+
+// parityFresh reports which of a stripe's parity blocks are trustworthy
+// given its dirty state: Q is stale while dirty; P additionally when
+// both updates are deferred. Synchronous Raid6 never marks, so both are
+// always fresh there.
+func (s *Store) parityFresh(dirty bool) (pFresh, qFresh bool) {
+	if !dirty {
+		return true, true
+	}
+	return !s.opts.DeferBothParities, false
+}
+
+// deadSet returns the currently failed disks.
+func (s *Store) deadSet() []int {
+	var out []int
+	if s.dead >= 0 {
+		out = append(out, s.dead)
+	}
+	if s.dead2 >= 0 {
+		out = append(out, s.dead2)
+	}
+	return out
+}
+
+// materialize6 reconstructs all data units of a stripe around the dead
+// disks. It reports ok=false when the surviving fresh parities cannot
+// cover the missing units (the data-loss case). Caller holds the
+// stripe lock.
+func (s *Store) materialize6(stripe int64, dead []int, pFresh, qFresh bool) (units [][]byte, ok bool, err error) {
+	unit := s.geo.StripeUnit
+	off := s.geo.DiskOffset(stripe)
+	isDead := func(d int) bool {
+		for _, x := range dead {
+			if x == d {
+				return true
+			}
+		}
+		return false
+	}
+
+	units = make([][]byte, s.geo.DataDisks())
+	var missing []int
+	for i := range units {
+		units[i] = make([]byte, unit)
+		d := s.geo.DataDisk(stripe, i)
+		if isDead(d) {
+			missing = append(missing, i)
+			continue
+		}
+		if _, err := s.devs[d].ReadAt(units[i], off); err != nil {
+			return nil, false, fmt.Errorf("core: disk %d read: %w", d, err)
+		}
+	}
+	if len(missing) == 0 {
+		return units, true, nil
+	}
+
+	pDisk := s.geo.ParityDisk(stripe)
+	qDisk := s.geo.QDisk(stripe)
+	pAvail := pFresh && !isDead(pDisk)
+	qAvail := qFresh && !isDead(qDisk)
+
+	readParity := func(d int) ([]byte, error) {
+		buf := make([]byte, unit)
+		if _, err := s.devs[d].ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("core: parity read on disk %d: %w", d, err)
+		}
+		return buf, nil
+	}
+
+	switch {
+	case len(missing) == 1 && pAvail:
+		p, err := readParity(pDisk)
+		if err != nil {
+			return nil, false, err
+		}
+		survivors := make([][]byte, 0, len(units)-1)
+		for i, u := range units {
+			if i != missing[0] {
+				survivors = append(survivors, u)
+			}
+		}
+		parity.Reconstruct(units[missing[0]], p, survivors...)
+		return units, true, nil
+
+	case len(missing) == 1 && qAvail:
+		q, err := readParity(qDisk)
+		if err != nil {
+			return nil, false, err
+		}
+		surv := make(map[int][]byte, len(units)-1)
+		for i, u := range units {
+			if i != missing[0] {
+				surv[i] = u
+			}
+		}
+		parity.ReconstructOnePQ(units[missing[0]], missing[0], true, q, surv)
+		return units, true, nil
+
+	case len(missing) == 2 && pAvail && qAvail:
+		p, err := readParity(pDisk)
+		if err != nil {
+			return nil, false, err
+		}
+		q, err := readParity(qDisk)
+		if err != nil {
+			return nil, false, err
+		}
+		surv := make(map[int][]byte, len(units)-2)
+		for i, u := range units {
+			if i != missing[0] && i != missing[1] {
+				surv[i] = u
+			}
+		}
+		parity.ReconstructTwoPQ(units[missing[0]], units[missing[1]],
+			missing[0], missing[1], p, q, surv)
+		return units, true, nil
+	}
+	return units, false, nil
+}
+
+// readSpan6 reads one stripe's extents on a RAID 6 store, using erasure
+// reconstruction around failed disks. Caller holds the stripe lock.
+func (s *Store) readSpan6(p []byte, base int64, sp layout.StripeSpan) error {
+	s.meta.Lock()
+	dead := s.deadSet()
+	dirty := s.marks.IsMarked(sp.Stripe)
+	s.meta.Unlock()
+	pFresh, qFresh := s.parityFresh(dirty)
+
+	isDead := func(d int) bool {
+		for _, x := range dead {
+			if x == d {
+				return true
+			}
+		}
+		return false
+	}
+
+	var units [][]byte // lazily materialized
+	for _, e := range sp.Extents {
+		dst := p[e.ArrOff-base : e.ArrOff-base+e.Len]
+		if !isDead(e.Disk) {
+			if _, err := s.devs[e.Disk].ReadAt(dst, e.DiskOff); err != nil {
+				return fmt.Errorf("core: disk %d read: %w", e.Disk, err)
+			}
+			continue
+		}
+		if units == nil {
+			var ok bool
+			var err error
+			units, ok, err = s.materialize6(sp.Stripe, dead, pFresh, qFresh)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("%w: stripe %d", ErrDataLoss, sp.Stripe)
+			}
+			s.meta.Lock()
+			s.stats.DegradedReads++
+			s.meta.Unlock()
+		}
+		copy(dst, units[e.DataIdx][e.UnitOff:e.UnitOff+e.Len])
+	}
+	return nil
+}
+
+// writeSpan6 dispatches a RAID 6 stripe write. Caller holds the stripe
+// lock.
+func (s *Store) writeSpan6(p []byte, base int64, sp layout.StripeSpan) error {
+	s.meta.Lock()
+	dead := s.deadSet()
+	s.meta.Unlock()
+
+	if len(dead) > 0 {
+		return s.writeSpanDegraded6(p, base, sp, dead)
+	}
+
+	switch {
+	case s.opts.Mode == Raid6:
+		return s.writeSpanSync6(p, base, sp, true, true)
+	case s.opts.DeferBothParities:
+		if err := s.markStripe(sp.Stripe); err != nil {
+			return err
+		}
+		return s.writeSpanData(p, base, sp, -1)
+	default: // Afraid6 deferring Q only: synchronous P, data write
+		if err := s.markStripe(sp.Stripe); err != nil {
+			return err
+		}
+		return s.writeSpanSync6(p, base, sp, true, false)
+	}
+}
+
+// markStripe marks a stripe dirty and persists the map.
+func (s *Store) markStripe(stripe int64) error {
+	s.meta.Lock()
+	changed := s.marks.Mark(stripe)
+	var err error
+	if changed {
+		err = s.persistMarks()
+	}
+	s.meta.Unlock()
+	return err
+}
+
+// writeSpanSync6 performs the double-parity read-modify-write for the
+// included parities: read old data (and old P/Q ranges), delta-update,
+// write data and parities.
+func (s *Store) writeSpanSync6(p []byte, base int64, sp layout.StripeSpan, withP, withQ bool) error {
+	stripe := sp.Stripe
+	pDisk := s.geo.ParityDisk(stripe)
+	qDisk := s.geo.QDisk(stripe)
+	for _, e := range sp.Extents {
+		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
+		old := make([]byte, e.Len)
+		if _, err := s.devs[e.Disk].ReadAt(old, e.DiskOff); err != nil {
+			return fmt.Errorf("core: old data read: %w", err)
+		}
+		rangeOff := s.geo.DiskOffset(stripe) + e.UnitOff
+		if withP {
+			par := make([]byte, e.Len)
+			if _, err := s.devs[pDisk].ReadAt(par, rangeOff); err != nil {
+				return fmt.Errorf("core: old P read: %w", err)
+			}
+			parity.Update(par, old, src)
+			if _, err := s.devs[pDisk].WriteAt(par, rangeOff); err != nil {
+				return fmt.Errorf("core: P write: %w", err)
+			}
+		}
+		if withQ {
+			q := make([]byte, e.Len)
+			if _, err := s.devs[qDisk].ReadAt(q, rangeOff); err != nil {
+				return fmt.Errorf("core: old Q read: %w", err)
+			}
+			parity.UpdateQ(q, old, src, e.DataIdx)
+			if _, err := s.devs[qDisk].WriteAt(q, rangeOff); err != nil {
+				return fmt.Errorf("core: Q write: %w", err)
+			}
+		}
+		if _, err := s.devs[e.Disk].WriteAt(src, e.DiskOff); err != nil {
+			return fmt.Errorf("core: data write: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeSpanDegraded6 rewrites the stripe image around failed disks,
+// keeping the surviving parities fresh so the missing units stay
+// encoded. Caller holds the stripe lock.
+func (s *Store) writeSpanDegraded6(p []byte, base int64, sp layout.StripeSpan, dead []int) error {
+	stripe := sp.Stripe
+	s.meta.Lock()
+	dirty := s.marks.IsMarked(stripe)
+	s.meta.Unlock()
+	pFresh, qFresh := s.parityFresh(dirty)
+
+	units, ok, err := s.materialize6(stripe, dead, pFresh, qFresh)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: stripe %d", ErrDataLoss, stripe)
+	}
+	for _, e := range sp.Extents {
+		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
+		copy(units[e.DataIdx][e.UnitOff:], src)
+	}
+	return s.storeStripeImage6(stripe, units, dead, dirty)
+}
+
+// storeStripeImage6 writes back data and recomputed parities to every
+// surviving disk; with both parity disks alive the stripe ends fully
+// redundant and is unmarked.
+func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasDirty bool) error {
+	isDead := func(d int) bool {
+		for _, x := range dead {
+			if x == d {
+				return true
+			}
+		}
+		return false
+	}
+	off := s.geo.DiskOffset(stripe)
+	for i, u := range units {
+		d := s.geo.DataDisk(stripe, i)
+		if isDead(d) {
+			continue
+		}
+		if _, err := s.devs[d].WriteAt(u, off); err != nil {
+			return fmt.Errorf("core: disk %d write: %w", d, err)
+		}
+	}
+	pBuf := make([]byte, s.geo.StripeUnit)
+	qBuf := make([]byte, s.geo.StripeUnit)
+	parity.ComputePQ(pBuf, qBuf, units...)
+	pDisk := s.geo.ParityDisk(stripe)
+	qDisk := s.geo.QDisk(stripe)
+	pWritten, qWritten := false, false
+	if !isDead(pDisk) {
+		if _, err := s.devs[pDisk].WriteAt(pBuf, off); err != nil {
+			return fmt.Errorf("core: P write: %w", err)
+		}
+		pWritten = true
+	}
+	if !isDead(qDisk) {
+		if _, err := s.devs[qDisk].WriteAt(qBuf, off); err != nil {
+			return fmt.Errorf("core: Q write: %w", err)
+		}
+		qWritten = true
+	}
+	// The stripe is fully fresh only if both live parities were
+	// rewritten; a dead parity disk gets its copy at repair time.
+	if wasDirty && pWritten && qWritten {
+		s.meta.Lock()
+		s.marks.Unmark(stripe)
+		err := s.persistMarks()
+		s.meta.Unlock()
+		return err
+	}
+	return nil
+}
+
+// rebuildParity6 is the scrubber's RAID 6 path: recompute the deferred
+// parities from the data units. Caller holds the stripe lock; no disks
+// are dead (the scrubber checks).
+func (s *Store) rebuildParity6(stripe int64) error {
+	unit := s.geo.StripeUnit
+	off := s.geo.DiskOffset(stripe)
+	units := make([][]byte, s.geo.DataDisks())
+	for i := range units {
+		units[i] = make([]byte, unit)
+		d := s.geo.DataDisk(stripe, i)
+		if _, err := s.devs[d].ReadAt(units[i], off); err != nil {
+			return fmt.Errorf("core: scrub read disk %d: %w", d, err)
+		}
+	}
+	pBuf := make([]byte, unit)
+	qBuf := make([]byte, unit)
+	parity.ComputePQ(pBuf, qBuf, units...)
+	if s.opts.DeferBothParities {
+		if _, err := s.devs[s.geo.ParityDisk(stripe)].WriteAt(pBuf, off); err != nil {
+			return fmt.Errorf("core: scrub P write: %w", err)
+		}
+	}
+	if _, err := s.devs[s.geo.QDisk(stripe)].WriteAt(qBuf, off); err != nil {
+		return fmt.Errorf("core: scrub Q write: %w", err)
+	}
+	return nil
+}
+
+// checkParity6 verifies both parities of every stripe.
+func (s *Store) checkParity6() ([]int64, error) {
+	var bad []int64
+	unit := s.geo.StripeUnit
+	for stripe := int64(0); stripe < s.geo.Stripes(); stripe++ {
+		lk := s.stripeLock(stripe)
+		lk.Lock()
+		units := make([][]byte, s.geo.DataDisks())
+		var err error
+		for i := range units {
+			units[i] = make([]byte, unit)
+			d := s.geo.DataDisk(stripe, i)
+			if _, err = s.devs[d].ReadAt(units[i], s.geo.DiskOffset(stripe)); err != nil {
+				break
+			}
+		}
+		var pBuf, qBuf []byte
+		if err == nil {
+			pBuf = make([]byte, unit)
+			_, err = s.devs[s.geo.ParityDisk(stripe)].ReadAt(pBuf, s.geo.DiskOffset(stripe))
+		}
+		if err == nil {
+			qBuf = make([]byte, unit)
+			_, err = s.devs[s.geo.QDisk(stripe)].ReadAt(qBuf, s.geo.DiskOffset(stripe))
+		}
+		lk.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if !parity.CheckPQ(pBuf, qBuf, units...) {
+			bad = append(bad, stripe)
+		}
+	}
+	return bad, nil
+}
+
+// repairStripe6 reconstructs the target disk's unit of one stripe onto
+// the replacement. When this repair makes the array whole again, the
+// stripe's parities are refreshed and its mark cleared. Caller holds
+// the stripe lock.
+func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice, report *DamageReport) error {
+	unit := s.geo.StripeUnit
+	off := s.geo.DiskOffset(stripe)
+	s.meta.Lock()
+	dead := s.deadSet()
+	dirty := s.marks.IsMarked(stripe)
+	s.meta.Unlock()
+	pFresh, qFresh := s.parityFresh(dirty)
+
+	units, ok, err := s.materialize6(stripe, dead, pFresh, qFresh)
+	if err != nil {
+		return err
+	}
+	role, dataIdx := s.geo.RoleOf(stripe, target)
+
+	isDead := func(d int) bool {
+		for _, x := range dead {
+			if x == d {
+				return true
+			}
+		}
+		return false
+	}
+	// devFor routes writes to the replacement for the target disk.
+	devFor := func(d int) BlockDevice {
+		if d == target {
+			return replacement
+		}
+		return s.devs[d]
+	}
+	// reachable reports whether a disk can be written during this
+	// repair: it is alive, or it is the target being rebuilt.
+	reachable := func(d int) bool { return d == target || !isDead(d) }
+
+	if !ok {
+		// Unrecoverable stripe: every missing data unit's contents are
+		// gone for good. Zero them all in the image, report each once,
+		// write zeros to the target if it holds data, and refresh every
+		// reachable parity over the zeroed image so later repairs
+		// reconstruct zeros instead of garbage through a stale parity.
+		zero := make([]byte, unit)
+		for i := 0; i < s.geo.DataDisks(); i++ {
+			d := s.geo.DataDisk(stripe, i)
+			if !isDead(d) {
+				continue
+			}
+			copy(units[i], zero) // materialize left them zeroed; be explicit
+			report.Lost = append(report.Lost, DamagedRange{
+				Offset: stripe*s.geo.StripeDataBytes() + int64(i)*unit,
+				Length: unit,
+				Stripe: stripe,
+			})
+		}
+		if role == layout.Data {
+			if _, err := replacement.WriteAt(zero, off); err != nil {
+				return err
+			}
+		}
+		pBuf := make([]byte, unit)
+		qBuf := make([]byte, unit)
+		parity.ComputePQ(pBuf, qBuf, units...)
+		pDisk, qDisk := s.geo.ParityDisk(stripe), s.geo.QDisk(stripe)
+		pOK, qOK := reachable(pDisk), reachable(qDisk)
+		if pOK {
+			if _, err := devFor(pDisk).WriteAt(pBuf, off); err != nil {
+				return err
+			}
+		}
+		if qOK {
+			if _, err := devFor(qDisk).WriteAt(qBuf, off); err != nil {
+				return err
+			}
+		}
+		// With both parities rewritten, the stripe is self-consistent
+		// (over zeroed lost units) and fully redundant again.
+		if pOK && qOK {
+			s.clearMark(stripe)
+		}
+		return nil
+	}
+
+	switch role {
+	case layout.Data:
+		if _, err := replacement.WriteAt(units[dataIdx], off); err != nil {
+			return err
+		}
+	case layout.Parity, layout.ParityQ:
+		pBuf := make([]byte, unit)
+		qBuf := make([]byte, unit)
+		parity.ComputePQ(pBuf, qBuf, units...)
+		buf := pBuf
+		if role == layout.ParityQ {
+			buf = qBuf
+		}
+		if _, err := replacement.WriteAt(buf, off); err != nil {
+			return err
+		}
+	}
+	s.bumpRecovered()
+
+	// Last repair: refresh both parities and clear the mark so the
+	// array ends fully redundant.
+	if len(dead) == 1 {
+		pBuf := make([]byte, unit)
+		qBuf := make([]byte, unit)
+		parity.ComputePQ(pBuf, qBuf, units...)
+		if _, err := devFor(s.geo.ParityDisk(stripe)).WriteAt(pBuf, off); err != nil {
+			return err
+		}
+		if _, err := devFor(s.geo.QDisk(stripe)).WriteAt(qBuf, off); err != nil {
+			return err
+		}
+		s.clearMark(stripe)
+	}
+	return nil
+}

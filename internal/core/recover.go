@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"afraid/internal/layout"
+	"afraid/internal/parity"
+)
+
+// FailDisk injects a fail-stop failure of disk i. Subsequent reads of
+// its units are served degraded (for clean stripes) and writes maintain
+// parity synchronously. Only one failure can be outstanding.
+func (s *Store) FailDisk(i int) error {
+	if i < 0 || i >= len(s.devs) {
+		return fmt.Errorf("core: disk %d out of range", i)
+	}
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	switch {
+	case s.dead < 0 || s.dead == i:
+		s.dead = i
+	case s.geo.Level == layout.RAID6 && (s.dead2 < 0 || s.dead2 == i):
+		// RAID 6 absorbs a second failure.
+		s.dead2 = i
+	default:
+		return ErrTooManyFailures
+	}
+	if f, ok := s.devs[i].(*MemDevice); ok {
+		f.Fail()
+	}
+	return nil
+}
+
+// DamagedRange is a client byte range whose contents were lost: it
+// lived on the failed disk inside a stripe whose parity was stale.
+type DamagedRange struct {
+	Offset int64
+	Length int64
+	Stripe int64
+}
+
+// DamageReport lists the data lost during a repair. For a RAID 5 store
+// (or an AFRAID store that was fully flushed) it is empty; for an
+// AFRAID store it is bounded by the stripes that were dirty at failure
+// time — the paper's key argument that the exposure is small and
+// enumerable.
+type DamageReport struct {
+	Lost []DamagedRange
+}
+
+// Bytes returns the total bytes lost.
+func (r DamageReport) Bytes() int64 {
+	var n int64
+	for _, d := range r.Lost {
+		n += d.Length
+	}
+	return n
+}
+
+// RepairDisk replaces failed disk i with a fresh device and
+// reconstructs its contents:
+//
+//   - clean stripes: the lost unit (data or parity) is rebuilt exactly
+//     from the survivors;
+//   - dirty stripes whose lost unit was parity: parity is recomputed
+//     from the data (no loss);
+//   - dirty stripes whose lost unit was data: the contents are gone —
+//     the unit is zero-filled, parity is recomputed over the zeroed
+//     stripe, and the range is recorded in the damage report.
+//
+// After a successful repair the array is fully redundant again.
+func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error) {
+	var report DamageReport
+	if i < 0 || i >= len(s.devs) {
+		return report, fmt.Errorf("core: disk %d out of range", i)
+	}
+	if replacement.Size() < s.geo.DiskSize {
+		return report, fmt.Errorf("core: replacement size %d smaller than member size %d",
+			replacement.Size(), s.geo.DiskSize)
+	}
+	s.meta.Lock()
+	if s.closed {
+		s.meta.Unlock()
+		return report, ErrClosed
+	}
+	if s.dead != i && s.dead2 != i {
+		s.meta.Unlock()
+		return report, fmt.Errorf("core: disk %d is not a failed disk", i)
+	}
+	mode := s.opts.Mode
+	s.meta.Unlock()
+
+	unit := s.geo.StripeUnit
+	for stripe := int64(0); stripe < s.geo.Stripes(); stripe++ {
+		lk := s.stripeLock(stripe)
+		lk.Lock()
+		var err error
+		if s.geo.Level == layout.RAID6 {
+			err = s.repairStripe6(stripe, i, replacement, &report)
+		} else {
+			err = s.repairStripe(stripe, i, replacement, unit, mode, &report)
+		}
+		lk.Unlock()
+		if err != nil {
+			return report, err
+		}
+	}
+
+	s.meta.Lock()
+	s.devs[i] = replacement
+	if s.dead == i {
+		s.dead, s.dead2 = s.dead2, -1
+	} else {
+		s.dead2 = -1
+	}
+	s.stats.DamagedStripes += uint64(len(report.Lost))
+	err := s.persistMarks()
+	s.meta.Unlock()
+	return report, err
+}
+
+// repairStripe reconstructs one stripe unit onto the replacement.
+// Caller holds the stripe lock.
+func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, unit int64, mode Mode, report *DamageReport) error {
+	off := s.geo.DiskOffset(stripe)
+	s.meta.Lock()
+	dirty := mode != Raid0 && s.marks.IsMarked(stripe)
+	pol := s.effectivePolicy(stripe)
+	s.meta.Unlock()
+
+	role, dataIdx := s.geo.RoleOf(stripe, dead)
+
+	noParity := mode == Raid0 || pol == PolicyNeverRedundant
+
+	switch {
+	case noParity && role == layout.Data:
+		// Unprotected storage: contents gone, zero-fill and report.
+		zero := make([]byte, unit)
+		if _, err := replacement.WriteAt(zero, off); err != nil {
+			return err
+		}
+		report.Lost = append(report.Lost, DamagedRange{
+			Offset: stripe*s.geo.StripeDataBytes() + int64(dataIdx)*unit,
+			Length: unit,
+			Stripe: stripe,
+		})
+		return nil
+
+	case role == layout.Parity:
+		// Recompute parity from the data units (valid whether or not
+		// the stripe was dirty), clearing any mark.
+		units, err := s.readDataUnits(stripe, dead)
+		if err != nil {
+			return err
+		}
+		par := make([]byte, unit)
+		parity.Compute(par, units...)
+		if _, err := replacement.WriteAt(par, off); err != nil {
+			return err
+		}
+		s.clearMark(stripe)
+		s.bumpRecovered()
+		return nil
+
+	case !dirty:
+		// Clean stripe, lost data unit: exact reconstruction.
+		units, err := s.readDataUnits(stripe, dead)
+		if err != nil {
+			return err
+		}
+		pDisk := s.geo.ParityDisk(stripe)
+		par := make([]byte, unit)
+		if _, err := s.devs[pDisk].ReadAt(par, off); err != nil {
+			return err
+		}
+		lost := make([]byte, unit)
+		parity.Reconstruct(lost, par, units...)
+		if _, err := replacement.WriteAt(lost, off); err != nil {
+			return err
+		}
+		s.bumpRecovered()
+		return nil
+
+	default:
+		// Dirty stripe, lost data unit: unrecoverable. Zero-fill,
+		// recompute parity over the zeroed stripe, report the loss.
+		zero := make([]byte, unit)
+		if _, err := replacement.WriteAt(zero, off); err != nil {
+			return err
+		}
+		units, err := s.readDataUnits(stripe, dead)
+		if err != nil {
+			return err
+		}
+		all := make([][]byte, 0, len(units)+1)
+		all = append(all, units...)
+		all = append(all, zero)
+		par := make([]byte, unit)
+		parity.Compute(par, all...)
+		pDisk := s.geo.ParityDisk(stripe)
+		if _, err := s.devs[pDisk].WriteAt(par, off); err != nil {
+			return err
+		}
+		s.clearMark(stripe)
+		report.Lost = append(report.Lost, DamagedRange{
+			Offset: stripe*s.geo.StripeDataBytes() + int64(dataIdx)*unit,
+			Length: unit,
+			Stripe: stripe,
+		})
+		return nil
+	}
+}
+
+// readDataUnits reads every surviving data unit of a stripe.
+func (s *Store) readDataUnits(stripe int64, dead int) ([][]byte, error) {
+	unit := s.geo.StripeUnit
+	off := s.geo.DiskOffset(stripe)
+	var units [][]byte
+	for i := 0; i < s.geo.DataDisks(); i++ {
+		d := s.geo.DataDisk(stripe, i)
+		if d == dead {
+			continue
+		}
+		buf := make([]byte, unit)
+		if _, err := s.devs[d].ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("core: disk %d read during repair: %w", d, err)
+		}
+		units = append(units, buf)
+	}
+	return units, nil
+}
+
+// clearMark unconditionally unmarks a stripe (on parity-bearing
+// layouts).
+func (s *Store) clearMark(stripe int64) {
+	s.meta.Lock()
+	if s.geo.Level != layout.RAID0 {
+		s.marks.Unmark(stripe)
+	}
+	s.meta.Unlock()
+}
+
+// bumpRecovered counts an exactly-reconstructed stripe.
+func (s *Store) bumpRecovered() {
+	s.meta.Lock()
+	s.stats.RecoveredStripes++
+	s.meta.Unlock()
+}

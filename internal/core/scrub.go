@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"afraid/internal/layout"
+	"afraid/internal/parity"
+)
+
+// kickScrub nudges the scrubber when the dirty-threshold policy demands
+// immediate rebuilding. The scrub loop polls anyway; this just shortens
+// the reaction time by doing a synchronous rebuild pass inline when the
+// backlog is far over threshold (a crude but effective pressure valve).
+func (s *Store) kickScrub() {
+	th := s.opts.DirtyThreshold
+	if th <= 0 {
+		return
+	}
+	s.meta.Lock()
+	over := s.marks.Count() > 2*int64(th)
+	s.meta.Unlock()
+	if !over {
+		return
+	}
+	// Rebuild down to the threshold in the caller's context, exactly
+	// like the paper's policy of starting parity updates under load.
+	for {
+		s.meta.Lock()
+		n := s.marks.Count()
+		s.meta.Unlock()
+		if n <= int64(th) {
+			return
+		}
+		if built, _ := s.scrubOne(true); !built {
+			return
+		}
+	}
+}
+
+// scrubLoop is the background parity rebuilder: it waits for the store
+// to be idle for ScrubIdle (or for the dirty backlog to exceed the
+// threshold) and then rebuilds stripes one at a time, checking for
+// foreground preemption between stripes.
+func (s *Store) scrubLoop() {
+	defer s.wg.Done()
+	poll := s.opts.ScrubIdle / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			s.meta.Lock()
+			dirty := s.marks.Count()
+			idleFor := time.Since(s.lastIO)
+			gen := s.scrubGen
+			s.meta.Unlock()
+			if dirty == 0 {
+				break
+			}
+			forced := s.opts.DirtyThreshold > 0 && dirty > int64(s.opts.DirtyThreshold)
+			if !forced && idleFor < s.opts.ScrubIdle {
+				break
+			}
+			built, err := s.scrubOne(forced)
+			if err != nil || !built {
+				break
+			}
+			// Preempt between stripes if foreground I/O arrived.
+			s.meta.Lock()
+			preempted := s.scrubGen != gen
+			s.meta.Unlock()
+			if preempted && !forced {
+				break
+			}
+		}
+	}
+}
+
+// scrubOne rebuilds the parity of one dirty stripe: read all data
+// units, xor, write parity, clear the mark. It reports whether a
+// stripe was rebuilt.
+func (s *Store) scrubOne(forced bool) (bool, error) {
+	s.meta.Lock()
+	if s.dead >= 0 || s.dead2 >= 0 {
+		// Cannot rebuild parity with a missing disk; RepairDisk will.
+		s.meta.Unlock()
+		return false, nil
+	}
+	stripe, ok := s.marks.Next(0)
+	s.meta.Unlock()
+	if !ok {
+		return false, nil
+	}
+
+	lk := s.stripeLock(stripe)
+	lk.Lock()
+	defer lk.Unlock()
+
+	s.meta.Lock()
+	stillDirty := s.marks.IsMarked(stripe)
+	s.meta.Unlock()
+	if !stillDirty {
+		return true, nil // raced with a degraded write; count as progress
+	}
+
+	var rerr error
+	if s.geo.Level == layout.RAID6 {
+		rerr = s.rebuildParity6(stripe)
+	} else {
+		rerr = s.rebuildParity(stripe)
+	}
+	if rerr != nil {
+		return false, rerr
+	}
+
+	s.meta.Lock()
+	s.marks.Unmark(stripe)
+	s.stats.ScrubbedStripes++
+	if forced {
+		s.stats.ForcedScrubs++
+	}
+	err := s.persistMarks()
+	s.meta.Unlock()
+	return true, err
+}
+
+// rebuildParity recomputes and writes one stripe's parity from its data
+// units. Caller holds the stripe lock.
+func (s *Store) rebuildParity(stripe int64) error {
+	unit := s.geo.StripeUnit
+	off := s.geo.DiskOffset(stripe)
+	units := make([][]byte, s.geo.DataDisks())
+	for i := range units {
+		units[i] = make([]byte, unit)
+		d := s.geo.DataDisk(stripe, i)
+		if _, err := s.devs[d].ReadAt(units[i], off); err != nil {
+			return fmt.Errorf("core: scrub read disk %d: %w", d, err)
+		}
+	}
+	par := make([]byte, unit)
+	parity.Compute(par, units...)
+	pDisk := s.geo.ParityDisk(stripe)
+	if _, err := s.devs[pDisk].WriteAt(par, off); err != nil {
+		return fmt.Errorf("core: scrub parity write: %w", err)
+	}
+	return nil
+}
+
+// Flush synchronously rebuilds parity for every dirty stripe — the
+// whole-array parity point. After a successful Flush the store is fully
+// redundant.
+func (s *Store) Flush() error {
+	if s.opts.Mode == Raid0 {
+		return nil
+	}
+	for {
+		s.meta.Lock()
+		if s.closed {
+			s.meta.Unlock()
+			return ErrClosed
+		}
+		dead := s.dead
+		if s.dead2 >= 0 {
+			dead = s.dead2
+		}
+		n := s.marks.Count()
+		s.meta.Unlock()
+		if n == 0 {
+			return nil
+		}
+		if dead >= 0 {
+			return fmt.Errorf("core: cannot flush with disk %d failed: %w", dead, ErrTooManyFailures)
+		}
+		if _, err := s.scrubOne(false); err != nil {
+			return err
+		}
+	}
+}
+
+// ParityPoint makes the stripes covering [off, off+length) redundant
+// now — the §5 "commit" operation, analogous to the paritypoints of
+// Cormen & Kotz. It returns once their parity is consistent.
+func (s *Store) ParityPoint(off, length int64) error {
+	if err := s.checkRange(off, length); err != nil {
+		return err
+	}
+	if length == 0 || s.opts.Mode == Raid0 {
+		return nil
+	}
+	first := off / s.geo.StripeDataBytes()
+	last := (off + length - 1) / s.geo.StripeDataBytes()
+	for stripe := first; stripe <= last; stripe++ {
+		s.meta.Lock()
+		dirty := s.marks.IsMarked(stripe)
+		dead := s.dead
+		if s.dead2 >= 0 {
+			dead = s.dead2
+		}
+		s.meta.Unlock()
+		if !dirty {
+			continue
+		}
+		if dead >= 0 {
+			return fmt.Errorf("core: cannot make stripe %d redundant with disk %d failed: %w", stripe, dead, ErrTooManyFailures)
+		}
+		lk := s.stripeLock(stripe)
+		lk.Lock()
+		var err error
+		if s.geo.Level == layout.RAID6 {
+			err = s.rebuildParity6(stripe)
+		} else {
+			err = s.rebuildParity(stripe)
+		}
+		if err == nil {
+			s.meta.Lock()
+			s.marks.Unmark(stripe)
+			s.stats.ScrubbedStripes++
+			err = s.persistMarks()
+			s.meta.Unlock()
+		}
+		lk.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckParity verifies every stripe's parity against its data and
+// returns the stripes that are inconsistent. On a healthy AFRAID store
+// the result is exactly the set of dirty stripes; after Flush it is
+// empty. RAID 0 stores trivially verify.
+func (s *Store) CheckParity() ([]int64, error) {
+	if s.opts.Mode == Raid0 {
+		return nil, nil
+	}
+	if s.geo.Level == layout.RAID6 {
+		return s.checkParity6()
+	}
+	var bad []int64
+	unit := s.geo.StripeUnit
+	for stripe := int64(0); stripe < s.geo.Stripes(); stripe++ {
+		lk := s.stripeLock(stripe)
+		lk.Lock()
+		units := make([][]byte, s.geo.DataDisks())
+		var err error
+		for i := range units {
+			units[i] = make([]byte, unit)
+			d := s.geo.DataDisk(stripe, i)
+			if _, err = s.devs[d].ReadAt(units[i], s.geo.DiskOffset(stripe)); err != nil {
+				break
+			}
+		}
+		var par []byte
+		if err == nil {
+			par = make([]byte, unit)
+			_, err = s.devs[s.geo.ParityDisk(stripe)].ReadAt(par, s.geo.DiskOffset(stripe))
+		}
+		lk.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if !parity.Check(par, units...) {
+			bad = append(bad, stripe)
+		}
+	}
+	return bad, nil
+}

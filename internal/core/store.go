@@ -1,0 +1,671 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"afraid/internal/layout"
+	"afraid/internal/nvram"
+	"afraid/internal/parity"
+)
+
+// Mode selects how the store maintains redundancy.
+type Mode int
+
+const (
+	// Afraid writes data immediately, marks stripes unredundant in
+	// NVRAM, and lets the scrubber rebuild parity in idle periods.
+	Afraid Mode = iota
+	// Raid5 keeps parity synchronously consistent (read-modify-write
+	// in the write path).
+	Raid5
+	// Raid0 never maintains parity.
+	Raid0
+	// Raid6 keeps P and Q parity synchronously consistent (§5).
+	Raid6
+	// Afraid6 is the §5 extension: P is maintained synchronously and Q
+	// deferred to the scrubber (single-failure protection at all
+	// times), or both deferred with Options.DeferBothParities.
+	Afraid6
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Afraid:
+		return "afraid"
+	case Raid5:
+		return "raid5"
+	case Raid0:
+		return "raid0"
+	case Raid6:
+		return "raid6"
+	case Afraid6:
+		return "afraid6"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// StripePolicy is the §5 extension: stripe-aligned subsets of the store
+// may be flagged with their own redundancy behaviour, overriding Mode.
+type StripePolicy byte
+
+const (
+	// PolicyDefault follows the store's Mode.
+	PolicyDefault StripePolicy = iota
+	// PolicyAlwaysRedundant forces synchronous RAID 5 parity for the
+	// stripe.
+	PolicyAlwaysRedundant
+	// PolicyNeverRedundant never maintains parity for the stripe
+	// (RAID 0 storage carved out of the array).
+	PolicyNeverRedundant
+)
+
+// Options configures a Store.
+type Options struct {
+	// Mode is the redundancy mode (default Afraid).
+	Mode Mode
+	// StripeUnit is the per-disk stripe unit size (default 8 KB).
+	StripeUnit int64
+	// ScrubIdle is how long the store must be quiescent before the
+	// background scrubber rebuilds parity (default 100 ms, the paper's
+	// idle threshold).
+	ScrubIdle time.Duration
+	// DirtyThreshold, when positive, lets the scrubber run even under
+	// load once more than this many stripes are unredundant.
+	DirtyThreshold int
+	// DisableScrubber turns the background goroutine off; parity is
+	// then rebuilt only by Flush/ParityPoint.
+	DisableScrubber bool
+	// DeferBothParities makes Afraid6 defer P as well as Q (full
+	// AFRAID write speed, full exposure while dirty). Afraid6 only.
+	DeferBothParities bool
+}
+
+func (o *Options) fill() {
+	if o.StripeUnit == 0 {
+		o.StripeUnit = 8 << 10
+	}
+	if o.ScrubIdle == 0 {
+		o.ScrubIdle = 100 * time.Millisecond
+	}
+}
+
+// Errors reported by the store.
+var (
+	// ErrDataLoss marks bytes that are unrecoverable: they lived on a
+	// failed disk in a stripe whose parity was stale (the AFRAID
+	// exposure window) or in a never-redundant stripe.
+	ErrDataLoss = errors.New("core: data lost (failed disk in unprotected stripe)")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: store is closed")
+	// ErrTooManyFailures means more disks are failed than the
+	// redundancy can absorb.
+	ErrTooManyFailures = errors.New("core: multiple disk failures")
+)
+
+// Stats counts store activity.
+type Stats struct {
+	Reads, Writes           uint64
+	BytesRead, BytesWritten int64
+	ScrubbedStripes         uint64
+	ForcedScrubs            uint64
+	DegradedReads           uint64
+	RecoveredStripes        uint64 // rebuilt during RepairDisk
+	DamagedStripes          uint64
+	NVRAMRecovered          bool // full-array rebuild after bad NVRAM image
+	DirtyStripes            int64
+}
+
+// Store is the functional AFRAID array.
+type Store struct {
+	geo  layout.Geometry
+	devs []BlockDevice
+	opts Options
+	nv   NVRAM
+
+	meta     sync.Mutex // guards everything below
+	marks    *nvram.Bitmap
+	policy   []StripePolicy
+	dead     int // index of first failed disk, -1 if none
+	dead2    int // second failed disk (RAID 6 only), -1 if none
+	lastIO   time.Time
+	closed   bool
+	stats    Stats
+	scrubGen uint64 // bumped on foreground I/O to preempt scrub runs
+
+	locks [64]sync.Mutex // stripe lock pool (stripe % 64)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open assembles a store over the devices, recovering the marking
+// memory from nv. A corrupt or mismatched NVRAM image triggers the
+// paper's recovery procedure: every stripe is marked for rebuild.
+func Open(devs []BlockDevice, nv NVRAM, opts Options) (*Store, error) {
+	opts.fill()
+	if len(devs) < 2 && opts.Mode != Raid0 {
+		return nil, fmt.Errorf("core: %v needs at least 2 devices, have %d", opts.Mode, len(devs))
+	}
+	if len(devs) < 1 {
+		return nil, fmt.Errorf("core: need at least 1 device")
+	}
+	size := devs[0].Size()
+	for i, d := range devs {
+		if d.Size() != size {
+			return nil, fmt.Errorf("core: device %d size %d differs from device 0 size %d", i, d.Size(), size)
+		}
+	}
+	size = size / opts.StripeUnit * opts.StripeUnit
+	if size == 0 {
+		return nil, fmt.Errorf("core: devices smaller than one stripe unit")
+	}
+	lvl := layout.RAID5
+	switch opts.Mode {
+	case Raid0:
+		lvl = layout.RAID0
+	case Raid6, Afraid6:
+		lvl = layout.RAID6
+	}
+	if opts.DeferBothParities && opts.Mode != Afraid6 {
+		return nil, fmt.Errorf("core: DeferBothParities requires Afraid6 mode")
+	}
+	geo := layout.Geometry{
+		Disks:      len(devs),
+		StripeUnit: opts.StripeUnit,
+		DiskSize:   size,
+		Level:      lvl,
+	}
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		geo:    geo,
+		devs:   devs,
+		opts:   opts,
+		nv:     nv,
+		dead:   -1,
+		dead2:  -1,
+		lastIO: time.Now(),
+		stop:   make(chan struct{}),
+		policy: make([]StripePolicy, geo.Stripes()),
+	}
+	// Probe the members: a disk that failed before a crash is still
+	// failed after reopen, and the store must know before issuing I/O.
+	probe := make([]byte, 1)
+	for i, d := range devs {
+		if _, err := d.ReadAt(probe, 0); err == nil {
+			continue
+		}
+		switch {
+		case s.dead < 0:
+			s.dead = i
+		case lvl == layout.RAID6 && s.dead2 < 0:
+			s.dead2 = i
+		default:
+			return nil, fmt.Errorf("core: devices %d and %d both failed: %w", s.dead, i, ErrTooManyFailures)
+		}
+	}
+	if err := s.recoverNVRAM(); err != nil {
+		return nil, err
+	}
+	if !opts.DisableScrubber && (opts.Mode == Afraid || opts.Mode == Afraid6) {
+		s.wg.Add(1)
+		go s.scrubLoop()
+	}
+	return s, nil
+}
+
+// recoverNVRAM loads the marking memory, falling back to a full-array
+// rebuild when the image is unusable.
+func (s *Store) recoverNVRAM() error {
+	stripes := s.geo.Stripes()
+	if s.nv == nil {
+		s.marks = nvram.NewBitmap(stripes)
+		return nil
+	}
+	img, err := s.nv.Load()
+	if err != nil {
+		return fmt.Errorf("core: loading NVRAM: %w", err)
+	}
+	if img == nil {
+		s.marks = nvram.NewBitmap(stripes)
+		return nil
+	}
+	bm, err := nvram.Deserialize(img)
+	if err == nil && bm.Stripes() == stripes {
+		s.marks = bm
+		return nil
+	}
+	// The paper's marking-memory failure recovery: rebuild parity for
+	// the whole array.
+	s.marks = nvram.NewBitmap(stripes)
+	for st := int64(0); st < stripes; st++ {
+		s.marks.Mark(st)
+	}
+	s.stats.NVRAMRecovered = true
+	return s.persistMarks()
+}
+
+// persistMarks stores the bitmap to NVRAM. Callers hold meta.
+func (s *Store) persistMarks() error {
+	if s.nv == nil {
+		return nil
+	}
+	return s.nv.Store(s.marks.Serialize())
+}
+
+// Close stops the scrubber and closes the devices. Dirty stripes stay
+// recorded in NVRAM; the next Open resumes their rebuild (crash-safe by
+// construction). Use Flush first for a clean shutdown.
+func (s *Store) Close() error {
+	s.meta.Lock()
+	if s.closed {
+		s.meta.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.meta.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	var first error
+	for _, d := range s.devs {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Capacity returns the client-visible size in bytes.
+func (s *Store) Capacity() int64 { return s.geo.Capacity() }
+
+// Geometry returns the striping parameters.
+func (s *Store) Geometry() layout.Geometry { return s.geo }
+
+// DirtyStripes returns the number of unredundant stripes.
+func (s *Store) DirtyStripes() int64 {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	return s.marks.Count()
+}
+
+// Stats returns a snapshot of activity counters.
+func (s *Store) Stats() Stats {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	st := s.stats
+	st.DirtyStripes = s.marks.Count()
+	return st
+}
+
+// stripeLock returns the lock covering a stripe.
+func (s *Store) stripeLock(stripe int64) *sync.Mutex {
+	return &s.locks[stripe%int64(len(s.locks))]
+}
+
+// touch records foreground activity for idle detection and scrub
+// preemption. Callers hold meta or accept the small race on lastIO.
+func (s *Store) touch() {
+	s.meta.Lock()
+	s.lastIO = time.Now()
+	s.scrubGen++
+	s.meta.Unlock()
+}
+
+// effectivePolicy resolves a stripe's redundancy behaviour.
+func (s *Store) effectivePolicy(stripe int64) StripePolicy {
+	p := s.policy[stripe]
+	if p != PolicyDefault {
+		return p
+	}
+	switch s.opts.Mode {
+	case Raid5:
+		return PolicyAlwaysRedundant
+	case Raid0:
+		return PolicyNeverRedundant
+	default:
+		return PolicyDefault // AFRAID behaviour
+	}
+}
+
+// SetStripePolicy flags the stripe-aligned range [off, off+length) with
+// a redundancy policy (§5: "stripe-aligned subsets of an AFRAID's
+// storage space could be permanently flagged with different redundancy
+// properties"). The range must cover whole stripes.
+func (s *Store) SetStripePolicy(off, length int64, p StripePolicy) error {
+	sb := s.geo.StripeDataBytes()
+	if off%sb != 0 || length%sb != 0 {
+		return fmt.Errorf("core: policy range [%d,%d) not stripe-aligned (stripe data bytes %d)", off, off+length, sb)
+	}
+	if off < 0 || off+length > s.geo.Capacity() {
+		return fmt.Errorf("core: policy range outside capacity")
+	}
+	if s.opts.Mode == Raid0 && p != PolicyNeverRedundant && p != PolicyDefault {
+		return fmt.Errorf("core: RAID 0 store has no parity to maintain")
+	}
+	if s.geo.Level == layout.RAID6 && p != PolicyDefault {
+		return fmt.Errorf("core: per-stripe policies are not supported on RAID 6 stores")
+	}
+	first := off / sb
+	last := (off + length) / sb
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	for st := first; st < last; st++ {
+		s.policy[st] = p
+	}
+	return nil
+}
+
+// ReadAt implements io.ReaderAt over the client address space.
+func (s *Store) ReadAt(p []byte, off int64) (int, error) {
+	if err := s.checkRange(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	s.touch()
+	spans := s.geo.Split(off, int64(len(p)))
+	for _, sp := range spans {
+		lk := s.stripeLock(sp.Stripe)
+		lk.Lock()
+		var err error
+		if s.geo.Level == layout.RAID6 {
+			err = s.readSpan6(p, off, sp)
+		} else {
+			err = s.readSpan(p, off, sp)
+		}
+		lk.Unlock()
+		if err != nil {
+			return 0, err
+		}
+	}
+	s.meta.Lock()
+	s.stats.Reads++
+	s.stats.BytesRead += int64(len(p))
+	s.meta.Unlock()
+	return len(p), nil
+}
+
+// readSpan reads one stripe's extents, reconstructing around a failed
+// disk when possible. Caller holds the stripe lock.
+func (s *Store) readSpan(p []byte, base int64, sp layout.StripeSpan) error {
+	s.meta.Lock()
+	dead := s.dead
+	dirty := s.marks.IsMarked(sp.Stripe)
+	pol := s.effectivePolicy(sp.Stripe)
+	s.meta.Unlock()
+
+	for _, e := range sp.Extents {
+		dst := p[e.ArrOff-base : e.ArrOff-base+e.Len]
+		if e.Disk != dead {
+			if _, err := s.devs[e.Disk].ReadAt(dst, e.DiskOff); err != nil {
+				return fmt.Errorf("core: disk %d read: %w", e.Disk, err)
+			}
+			continue
+		}
+		// The extent lives on the failed disk.
+		if dirty || pol == PolicyNeverRedundant {
+			return fmt.Errorf("%w: stripe %d", ErrDataLoss, sp.Stripe)
+		}
+		if err := s.degradedReadExtent(dst, sp.Stripe, e); err != nil {
+			return err
+		}
+		s.meta.Lock()
+		s.stats.DegradedReads++
+		s.meta.Unlock()
+	}
+	return nil
+}
+
+// degradedReadExtent reconstructs a lost extent from parity plus the
+// surviving data units. Caller holds the stripe lock.
+func (s *Store) degradedReadExtent(dst []byte, stripe int64, e layout.Extent) error {
+	unitOff := e.UnitOff
+	n := int64(len(dst))
+	pDisk := s.geo.ParityDisk(stripe)
+	buf := make([]byte, n)
+	if _, err := s.devs[pDisk].ReadAt(buf, s.geo.DiskOffset(stripe)+unitOff); err != nil {
+		return fmt.Errorf("core: parity read during reconstruction: %w", err)
+	}
+	acc := buf
+	tmp := make([]byte, n)
+	for i := 0; i < s.geo.DataDisks(); i++ {
+		if i == e.DataIdx {
+			continue
+		}
+		d := s.geo.DataDisk(stripe, i)
+		if _, err := s.devs[d].ReadAt(tmp, s.geo.DiskOffset(stripe)+unitOff); err != nil {
+			return fmt.Errorf("core: disk %d read during reconstruction: %w", d, err)
+		}
+		parity.XOR(acc, tmp)
+	}
+	copy(dst, acc)
+	return nil
+}
+
+// WriteAt implements io.WriterAt over the client address space.
+func (s *Store) WriteAt(p []byte, off int64) (int, error) {
+	if err := s.checkRange(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	s.touch()
+	spans := s.geo.Split(off, int64(len(p)))
+	for _, sp := range spans {
+		lk := s.stripeLock(sp.Stripe)
+		lk.Lock()
+		var err error
+		if s.geo.Level == layout.RAID6 {
+			err = s.writeSpan6(p, off, sp)
+		} else {
+			err = s.writeSpan(p, off, sp)
+		}
+		lk.Unlock()
+		if err != nil {
+			return 0, err
+		}
+	}
+	s.meta.Lock()
+	s.stats.Writes++
+	s.stats.BytesWritten += int64(len(p))
+	s.meta.Unlock()
+	s.kickScrub()
+	return len(p), nil
+}
+
+// writeSpan applies one stripe's worth of a write under the stripe lock.
+func (s *Store) writeSpan(p []byte, base int64, sp layout.StripeSpan) error {
+	s.meta.Lock()
+	dead := s.dead
+	pol := s.effectivePolicy(sp.Stripe)
+	s.meta.Unlock()
+
+	if dead >= 0 && pol != PolicyNeverRedundant {
+		// Degraded operation: with a disk already gone, deferring
+		// parity would turn the next failure into certain loss, so the
+		// array maintains parity synchronously (and through it the
+		// contents of the dead unit).
+		return s.writeSpanDegraded(p, base, sp)
+	}
+
+	switch pol {
+	case PolicyNeverRedundant:
+		return s.writeSpanData(p, base, sp, dead)
+	case PolicyAlwaysRedundant:
+		return s.writeSpanRaid5(p, base, sp)
+	default: // AFRAID
+		s.meta.Lock()
+		changed := s.marks.Mark(sp.Stripe)
+		var err error
+		if changed {
+			err = s.persistMarks()
+		}
+		s.meta.Unlock()
+		if err != nil {
+			return err
+		}
+		return s.writeSpanData(p, base, sp, -1)
+	}
+}
+
+// writeSpanData writes only the data extents. A dead disk makes writes
+// to its units unrecoverable, matching RAID 0 semantics.
+func (s *Store) writeSpanData(p []byte, base int64, sp layout.StripeSpan, dead int) error {
+	for _, e := range sp.Extents {
+		if e.Disk == dead {
+			return fmt.Errorf("%w: stripe %d", ErrDataLoss, sp.Stripe)
+		}
+		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
+		if _, err := s.devs[e.Disk].WriteAt(src, e.DiskOff); err != nil {
+			return fmt.Errorf("core: disk %d write: %w", e.Disk, err)
+		}
+	}
+	return nil
+}
+
+// writeSpanRaid5 performs the synchronous small-update protocol:
+// read old data and old parity, xor-update, write data and parity.
+func (s *Store) writeSpanRaid5(p []byte, base int64, sp layout.StripeSpan) error {
+	stripe := sp.Stripe
+	pDisk := s.geo.ParityDisk(stripe)
+	for _, e := range sp.Extents {
+		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
+		old := make([]byte, e.Len)
+		if _, err := s.devs[e.Disk].ReadAt(old, e.DiskOff); err != nil {
+			return fmt.Errorf("core: old data read: %w", err)
+		}
+		par := make([]byte, e.Len)
+		pOff := s.geo.DiskOffset(stripe) + e.UnitOff
+		if _, err := s.devs[pDisk].ReadAt(par, pOff); err != nil {
+			return fmt.Errorf("core: old parity read: %w", err)
+		}
+		parity.Update(par, old, src)
+		if _, err := s.devs[e.Disk].WriteAt(src, e.DiskOff); err != nil {
+			return fmt.Errorf("core: data write: %w", err)
+		}
+		if _, err := s.devs[pDisk].WriteAt(par, pOff); err != nil {
+			return fmt.Errorf("core: parity write: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeSpanDegraded rewrites the whole stripe image around a failed
+// disk: reconstruct, apply the new data, recompute parity, write the
+// surviving units. Caller holds the stripe lock.
+func (s *Store) writeSpanDegraded(p []byte, base int64, sp layout.StripeSpan) error {
+	stripe := sp.Stripe
+	s.meta.Lock()
+	dead := s.dead
+	dirty := s.marks.IsMarked(stripe)
+	s.meta.Unlock()
+
+	units, err := s.loadStripeImage(stripe, dead, dirty)
+	if err != nil {
+		return err
+	}
+	// Apply the new data in memory.
+	for _, e := range sp.Extents {
+		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
+		copy(units[e.DataIdx][e.UnitOff:], src)
+	}
+	return s.storeStripeImage(stripe, units, dead, dirty)
+}
+
+// loadStripeImage reads all data units of a stripe, reconstructing the
+// dead one from parity when the stripe is clean. A dirty stripe's dead
+// data unit is unrecoverable and is surfaced as ErrDataLoss.
+func (s *Store) loadStripeImage(stripe int64, dead int, dirty bool) ([][]byte, error) {
+	unit := s.geo.StripeUnit
+	off := s.geo.DiskOffset(stripe)
+	units := make([][]byte, s.geo.DataDisks())
+	var deadIdx = -1
+	for i := range units {
+		units[i] = make([]byte, unit)
+		d := s.geo.DataDisk(stripe, i)
+		if d == dead {
+			deadIdx = i
+			continue
+		}
+		if _, err := s.devs[d].ReadAt(units[i], off); err != nil {
+			return nil, fmt.Errorf("core: disk %d read: %w", d, err)
+		}
+	}
+	if deadIdx >= 0 {
+		if dirty {
+			return nil, fmt.Errorf("%w: stripe %d", ErrDataLoss, stripe)
+		}
+		par := make([]byte, unit)
+		pDisk := s.geo.ParityDisk(stripe)
+		if pDisk == dead {
+			return nil, fmt.Errorf("core: internal: dead disk is both data and parity")
+		}
+		if _, err := s.devs[pDisk].ReadAt(par, off); err != nil {
+			return nil, fmt.Errorf("core: parity read: %w", err)
+		}
+		survivors := make([][]byte, 0, len(units)-1)
+		for i, u := range units {
+			if i != deadIdx {
+				survivors = append(survivors, u)
+			}
+		}
+		parity.Reconstruct(units[deadIdx], par, survivors...)
+	}
+	return units, nil
+}
+
+// storeStripeImage writes back a full stripe image (data plus parity),
+// skipping the dead disk's unit; parity then encodes it.
+func (s *Store) storeStripeImage(stripe int64, units [][]byte, dead int, wasDirty bool) error {
+	unit := s.geo.StripeUnit
+	off := s.geo.DiskOffset(stripe)
+	for i, u := range units {
+		d := s.geo.DataDisk(stripe, i)
+		if d == dead {
+			continue
+		}
+		if _, err := s.devs[d].WriteAt(u, off); err != nil {
+			return fmt.Errorf("core: disk %d write: %w", d, err)
+		}
+	}
+	pDisk := s.geo.ParityDisk(stripe)
+	if pDisk != dead {
+		par := make([]byte, unit)
+		parity.Compute(par, units...)
+		if _, err := s.devs[pDisk].WriteAt(par, off); err != nil {
+			return fmt.Errorf("core: parity write: %w", err)
+		}
+		if wasDirty {
+			s.meta.Lock()
+			s.marks.Unmark(stripe)
+			err := s.persistMarks()
+			s.meta.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkRange validates a client range.
+func (s *Store) checkRange(off, length int64) error {
+	s.meta.Lock()
+	closed := s.closed
+	s.meta.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if length < 0 || off < 0 || off+length > s.geo.Capacity() {
+		return fmt.Errorf("core: range [%d,%d) outside capacity %d", off, off+length, s.geo.Capacity())
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRelatedWorkSweepOrdering(t *testing.T) {
+	rows, err := RelatedWorkSweep("att", 30*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]RelatedWorkRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	// §2: parity logging beats RAID 5 but not AFRAID; a starved log is
+	// the failure mode AFRAID does not have.
+	if byLabel["plog-2MB"].Metrics.MeanIOTime >= byLabel["RAID5"].Metrics.MeanIOTime {
+		t.Error("roomy parity log not faster than RAID5")
+	}
+	if byLabel["AFRAID"].Metrics.MeanIOTime >= byLabel["plog-2MB"].Metrics.MeanIOTime {
+		t.Error("AFRAID not faster than parity logging")
+	}
+	if byLabel["plog-128KB"].Metrics.LogStalls == 0 {
+		t.Error("starved log never stalled")
+	}
+	if byLabel["plog-128KB"].Metrics.MeanIOTime <= byLabel["plog-2MB"].Metrics.MeanIOTime {
+		t.Error("log pressure did not hurt")
+	}
+	if out := RenderRelatedWork("att", rows); !strings.Contains(out, "plog-128KB") {
+		t.Error("render missing row")
+	}
+}
+
+func TestRAID6SweepOrdering(t *testing.T) {
+	rows, err := RAID6Sweep("att", 30*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]RAID6Row{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	// §5: RAID 6 pays an even higher small-update penalty than RAID 5;
+	// deferring Q recovers most of it; deferring both recovers all.
+	if byLabel["RAID6"].Metrics.MeanIOTime <= byLabel["RAID5"].Metrics.MeanIOTime {
+		t.Error("RAID6 not slower than RAID5")
+	}
+	if byLabel["AFRAID6-q"].Metrics.MeanIOTime >= byLabel["RAID6"].Metrics.MeanIOTime {
+		t.Error("deferring Q did not help")
+	}
+	if byLabel["AFRAID6-pq"].Metrics.MeanIOTime >= byLabel["AFRAID6-q"].Metrics.MeanIOTime {
+		t.Error("deferring both not faster than deferring Q")
+	}
+	// Availability: defer-q keeps single-failure tolerance, so its disk
+	// MTTDL stays above even plain RAID 5's.
+	ap := byLabel["AFRAID6-q"].Avail.DiskMTTDL
+	if ap <= byLabel["RAID5"].Avail.DiskMTTDL {
+		t.Errorf("AFRAID6-q disk MTTDL %g not above RAID5 %g", ap, byLabel["RAID5"].Avail.DiskMTTDL)
+	}
+	if byLabel["AFRAID6-pq"].Avail.DiskMTTDL >= byLabel["AFRAID6-q"].Avail.DiskMTTDL {
+		t.Error("defer-both not riskier than defer-q")
+	}
+	if out := RenderRAID6("att", rows); !strings.Contains(out, "AFRAID6-q") {
+		t.Error("render missing row")
+	}
+}
+
+func TestGranularitySweepShrinksLag(t *testing.T) {
+	rows, err := GranularitySweep("cello-news", 30*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	m1 := rows[0].Metrics
+	m4 := rows[2].Metrics
+	if m4.MeanParityLag >= m1.MeanParityLag {
+		t.Errorf("M=4 lag %.0f not below M=1 lag %.0f", m4.MeanParityLag, m1.MeanParityLag)
+	}
+}
+
+func TestConservativeSweepRuns(t *testing.T) {
+	rows, err := ConservativeSweep("att", 20*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Metrics.Completed == 0 {
+		t.Fatal("conservative run completed nothing")
+	}
+}
+
+func TestDegradedSweep(t *testing.T) {
+	rows, err := DegradedSweep("cello-usr", 30*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Metrics.FailedAt == 0 {
+			t.Fatalf("%s: fault not injected", r.Label)
+		}
+		if r.Metrics.Submitted != r.Metrics.Completed {
+			t.Fatalf("%s: lost requests", r.Label)
+		}
+	}
+	if rows[0].Metrics.LostUnitsAtFailure != 0 {
+		t.Error("RAID5 lost units on single failure")
+	}
+	if out := RenderDegraded("cello-usr", rows); !strings.Contains(out, "lostUnits") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,183 @@
+// Package iosched implements the request-queue scheduling disciplines
+// used in the experiments: CLOOK for the host device driver and FCFS for
+// the back-end per-disk queues, matching the paper's configuration
+// ("the host device driver used the clook policy, the back-end device
+// drivers inside the array used fcfs").
+package iosched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Request is a schedulable unit: an opaque payload ordered by position.
+type Request struct {
+	Pos     int64 // position key (array or disk byte address)
+	Payload interface{}
+}
+
+// Scheduler is a queue discipline over Requests.
+type Scheduler interface {
+	// Push enqueues a request.
+	Push(Request)
+	// Pop removes and returns the next request per the discipline.
+	// It panics when empty; check Len first.
+	Pop() Request
+	// Len returns the number of queued requests.
+	Len() int
+	// Name identifies the discipline.
+	Name() string
+}
+
+// FCFS is a first-come-first-served queue.
+type FCFS struct {
+	q []Request
+}
+
+// NewFCFS returns an empty FCFS queue.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name returns "fcfs".
+func (f *FCFS) Name() string { return "fcfs" }
+
+// Push enqueues r at the tail.
+func (f *FCFS) Push(r Request) { f.q = append(f.q, r) }
+
+// Len returns the queue length.
+func (f *FCFS) Len() int { return len(f.q) }
+
+// Pop dequeues from the head.
+func (f *FCFS) Pop() Request {
+	if len(f.q) == 0 {
+		panic("iosched: Pop from empty FCFS queue")
+	}
+	r := f.q[0]
+	// Avoid leaking the payload reference.
+	f.q[0] = Request{}
+	f.q = f.q[1:]
+	if len(f.q) == 0 {
+		f.q = nil // let the backing array be collected
+	}
+	return r
+}
+
+// CLOOK is a circular-LOOK elevator: it serves requests in ascending
+// position order from the current head position, and when none remain
+// ahead it jumps back to the lowest-positioned request and continues
+// ascending. Requests at equal positions are served in arrival order.
+type CLOOK struct {
+	q    []Request // sorted by (Pos, seq)
+	seqs []uint64
+	seq  uint64
+	head int64
+}
+
+// NewCLOOK returns an empty CLOOK queue with head position 0.
+func NewCLOOK() *CLOOK { return &CLOOK{} }
+
+// Name returns "clook".
+func (c *CLOOK) Name() string { return "clook" }
+
+// Len returns the queue length.
+func (c *CLOOK) Len() int { return len(c.q) }
+
+// Push inserts r in sorted order.
+func (c *CLOOK) Push(r Request) {
+	seq := c.seq
+	c.seq++
+	i := sort.Search(len(c.q), func(i int) bool {
+		if c.q[i].Pos != r.Pos {
+			return c.q[i].Pos > r.Pos
+		}
+		return c.seqs[i] > seq
+	})
+	c.q = append(c.q, Request{})
+	c.seqs = append(c.seqs, 0)
+	copy(c.q[i+1:], c.q[i:])
+	copy(c.seqs[i+1:], c.seqs[i:])
+	c.q[i] = r
+	c.seqs[i] = seq
+}
+
+// Pop returns the next request at or beyond the head position, wrapping
+// to the lowest position when none remain ahead, and advances the head.
+func (c *CLOOK) Pop() Request {
+	if len(c.q) == 0 {
+		panic("iosched: Pop from empty CLOOK queue")
+	}
+	i := sort.Search(len(c.q), func(i int) bool { return c.q[i].Pos >= c.head })
+	if i == len(c.q) {
+		i = 0 // wrap: sweep restarts at the lowest position
+	}
+	r := c.q[i]
+	copy(c.q[i:], c.q[i+1:])
+	copy(c.seqs[i:], c.seqs[i+1:])
+	c.q[len(c.q)-1] = Request{}
+	c.q = c.q[:len(c.q)-1]
+	c.seqs = c.seqs[:len(c.seqs)-1]
+	c.head = r.Pos
+	return r
+}
+
+// Head returns the current sweep position (for tests/inspection).
+func (c *CLOOK) Head() int64 { return c.head }
+
+// New constructs a scheduler by name ("fcfs" or "clook").
+func New(name string) (Scheduler, error) {
+	switch name {
+	case "fcfs":
+		return NewFCFS(), nil
+	case "clook":
+		return NewCLOOK(), nil
+	default:
+		return nil, fmt.Errorf("iosched: unknown scheduler %q", name)
+	}
+}
+
+// Limiter caps the number of outstanding operations, queueing the excess
+// behind a Scheduler. The paper limits concurrently active client
+// requests inside the array to the number of physical disks.
+type Limiter struct {
+	sched       Scheduler
+	outstanding int
+	max         int
+}
+
+// NewLimiter wraps sched with an outstanding-op cap of max (>= 1).
+func NewLimiter(sched Scheduler, max int) *Limiter {
+	if max < 1 {
+		panic(fmt.Sprintf("iosched: limiter max %d must be >= 1", max))
+	}
+	return &Limiter{sched: sched, max: max}
+}
+
+// Submit offers a request. It returns the request to start now (admit)
+// if a slot is free, otherwise queues it and returns false.
+func (l *Limiter) Submit(r Request) (Request, bool) {
+	if l.outstanding < l.max {
+		l.outstanding++
+		return r, true
+	}
+	l.sched.Push(r)
+	return Request{}, false
+}
+
+// Done signals completion of one outstanding request and returns the
+// next queued request to start, if any.
+func (l *Limiter) Done() (Request, bool) {
+	if l.outstanding <= 0 {
+		panic("iosched: Done without outstanding request")
+	}
+	l.outstanding--
+	if l.sched.Len() > 0 && l.outstanding < l.max {
+		l.outstanding++
+		return l.sched.Pop(), true
+	}
+	return Request{}, false
+}
+
+// Outstanding returns the number of admitted, unfinished requests.
+func (l *Limiter) Outstanding() int { return l.outstanding }
+
+// Queued returns the number of requests waiting for a slot.
+func (l *Limiter) Queued() int { return l.sched.Len() }

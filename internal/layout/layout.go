@@ -1,0 +1,288 @@
+// Package layout implements the striping address arithmetic for the
+// array: RAID 0, left-symmetric RAID 5 (the layout the paper assumes),
+// and a rotated P+Q RAID 6 layout for the §5 extension.
+//
+// Terminology follows the paper: a *stripe* is one row of stripe units
+// across all disks; a *stripe unit* (or strip) is the contiguous chunk a
+// single disk contributes to a stripe (8 KB by default, the paper's
+// "stripe depth").
+package layout
+
+import "fmt"
+
+// Level selects the redundancy organization.
+type Level int
+
+const (
+	// RAID0 stripes data with no redundancy.
+	RAID0 Level = iota
+	// RAID5 uses one rotating XOR parity unit per stripe
+	// (left-symmetric placement).
+	RAID5
+	// RAID6 uses rotating P and Q units per stripe.
+	RAID6
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case RAID0:
+		return "RAID0"
+	case RAID5:
+		return "RAID5"
+	case RAID6:
+		return "RAID6"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParityUnits returns the number of stripe units per stripe devoted to
+// redundancy.
+func (l Level) ParityUnits() int {
+	switch l {
+	case RAID0:
+		return 0
+	case RAID5:
+		return 1
+	case RAID6:
+		return 2
+	default:
+		panic(fmt.Sprintf("layout: unknown level %d", int(l)))
+	}
+}
+
+// Geometry describes an array's striping parameters.
+type Geometry struct {
+	Disks      int   // total number of disks, including parity
+	StripeUnit int64 // bytes per stripe unit (the paper's S, 8 KB)
+	DiskSize   int64 // usable bytes per disk; must be a multiple of StripeUnit
+	Level      Level
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.StripeUnit <= 0 {
+		return fmt.Errorf("layout: stripe unit %d must be positive", g.StripeUnit)
+	}
+	if g.DiskSize <= 0 || g.DiskSize%g.StripeUnit != 0 {
+		return fmt.Errorf("layout: disk size %d must be a positive multiple of stripe unit %d", g.DiskSize, g.StripeUnit)
+	}
+	min := g.Level.ParityUnits() + 1
+	if g.Disks < min {
+		return fmt.Errorf("layout: %s needs at least %d disks, have %d", g.Level, min, g.Disks)
+	}
+	return nil
+}
+
+// DataDisks returns the number of data units per stripe (the paper's N).
+func (g Geometry) DataDisks() int { return g.Disks - g.Level.ParityUnits() }
+
+// Stripes returns the number of stripes in the array.
+func (g Geometry) Stripes() int64 { return g.DiskSize / g.StripeUnit }
+
+// StripeDataBytes returns the client-visible bytes per stripe.
+func (g Geometry) StripeDataBytes() int64 { return int64(g.DataDisks()) * g.StripeUnit }
+
+// Capacity returns the client-visible capacity of the array.
+func (g Geometry) Capacity() int64 { return g.Stripes() * g.StripeDataBytes() }
+
+// DiskOffset returns the byte offset on every disk of the given stripe's
+// stripe unit.
+func (g Geometry) DiskOffset(stripe int64) int64 { return stripe * g.StripeUnit }
+
+// ParityDisk returns the disk holding the (P) parity unit of a stripe.
+// Left-symmetric: parity starts on the last disk for stripe 0 and
+// rotates one disk to the left each stripe. RAID 0 has no parity and
+// returns -1.
+func (g Geometry) ParityDisk(stripe int64) int {
+	if g.Level == RAID0 {
+		return -1
+	}
+	return g.Disks - 1 - int(stripe%int64(g.Disks))
+}
+
+// QDisk returns the disk holding the Q parity unit of a stripe (RAID 6
+// only; -1 otherwise). Q sits immediately after P, wrapping around.
+func (g Geometry) QDisk(stripe int64) int {
+	if g.Level != RAID6 {
+		return -1
+	}
+	return (g.ParityDisk(stripe) + 1) % g.Disks
+}
+
+// DataDisk returns the disk holding data unit idx (0-based within the
+// stripe) of the given stripe. In the left-symmetric layout, data units
+// occupy the disks following the parity unit(s) in rotation, so that
+// consecutive stripes place consecutive data on consecutive disks.
+func (g Geometry) DataDisk(stripe int64, idx int) int {
+	if idx < 0 || idx >= g.DataDisks() {
+		panic(fmt.Sprintf("layout: data index %d out of range [0,%d)", idx, g.DataDisks()))
+	}
+	switch g.Level {
+	case RAID0:
+		return (int(stripe%int64(g.Disks)) + idx) % g.Disks
+	case RAID5:
+		return (g.ParityDisk(stripe) + 1 + idx) % g.Disks
+	case RAID6:
+		return (g.QDisk(stripe) + 1 + idx) % g.Disks
+	default:
+		panic(fmt.Sprintf("layout: unknown level %d", int(g.Level)))
+	}
+}
+
+// Role identifies what a stripe unit on a particular disk holds.
+type Role int
+
+const (
+	// Data marks a client-data stripe unit.
+	Data Role = iota
+	// Parity marks the P (XOR) parity unit.
+	Parity
+	// ParityQ marks the Q unit of RAID 6.
+	ParityQ
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case Data:
+		return "data"
+	case Parity:
+		return "parity"
+	case ParityQ:
+		return "parityQ"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// RoleOf returns the role of the stripe unit on disk within stripe, and
+// the data index when the role is Data (-1 otherwise).
+func (g Geometry) RoleOf(stripe int64, disk int) (Role, int) {
+	if disk < 0 || disk >= g.Disks {
+		panic(fmt.Sprintf("layout: disk %d out of range [0,%d)", disk, g.Disks))
+	}
+	if g.Level != RAID0 && disk == g.ParityDisk(stripe) {
+		return Parity, -1
+	}
+	if g.Level == RAID6 && disk == g.QDisk(stripe) {
+		return ParityQ, -1
+	}
+	var base int
+	switch g.Level {
+	case RAID0:
+		base = int(stripe % int64(g.Disks))
+	case RAID5:
+		base = (g.ParityDisk(stripe) + 1) % g.Disks
+	case RAID6:
+		base = (g.QDisk(stripe) + 1) % g.Disks
+	}
+	idx := (disk - base + g.Disks) % g.Disks
+	return Data, idx
+}
+
+// Loc is the physical location of a single array byte range that lies
+// entirely within one stripe unit.
+type Loc struct {
+	Stripe  int64 // stripe number
+	DataIdx int   // data unit index within the stripe
+	Disk    int   // physical disk
+	DiskOff int64 // byte offset on that disk
+}
+
+// Locate maps a client byte address to its physical location. It panics
+// if addr is out of range; callers validate request bounds.
+func (g Geometry) Locate(addr int64) Loc {
+	if addr < 0 || addr >= g.Capacity() {
+		panic(fmt.Sprintf("layout: address %d out of range [0,%d)", addr, g.Capacity()))
+	}
+	stripe := addr / g.StripeDataBytes()
+	within := addr % g.StripeDataBytes()
+	idx := int(within / g.StripeUnit)
+	unitOff := within % g.StripeUnit
+	disk := g.DataDisk(stripe, idx)
+	return Loc{
+		Stripe:  stripe,
+		DataIdx: idx,
+		Disk:    disk,
+		DiskOff: g.DiskOffset(stripe) + unitOff,
+	}
+}
+
+// Extent is a contiguous byte range of a single stripe unit touched by a
+// client request.
+type Extent struct {
+	Stripe  int64
+	DataIdx int   // data unit index within the stripe
+	Disk    int   // physical disk holding the unit
+	DiskOff int64 // starting byte offset on the disk
+	UnitOff int64 // starting byte offset within the stripe unit
+	Len     int64 // bytes
+	ArrOff  int64 // client address of the first byte
+}
+
+// StripeSpan groups the extents of one request that fall in one stripe.
+type StripeSpan struct {
+	Stripe  int64
+	Extents []Extent
+}
+
+// FullStripe reports whether the span covers every data byte of the
+// stripe (enabling a reconstruct-write that needs no pre-reads).
+func (s StripeSpan) FullStripe(g Geometry) bool {
+	var n int64
+	for _, e := range s.Extents {
+		n += e.Len
+	}
+	return n == g.StripeDataBytes()
+}
+
+// Bytes returns the total data bytes in the span.
+func (s StripeSpan) Bytes() int64 {
+	var n int64
+	for _, e := range s.Extents {
+		n += e.Len
+	}
+	return n
+}
+
+// Split decomposes the client byte range [off, off+length) into per-
+// stripe spans of per-unit extents, in ascending address order.
+func (g Geometry) Split(off, length int64) []StripeSpan {
+	if length < 0 {
+		panic(fmt.Sprintf("layout: negative length %d", length))
+	}
+	if off < 0 || off+length > g.Capacity() {
+		panic(fmt.Sprintf("layout: range [%d,%d) outside capacity %d", off, off+length, g.Capacity()))
+	}
+	var spans []StripeSpan
+	addr := off
+	remaining := length
+	for remaining > 0 {
+		loc := g.Locate(addr)
+		unitOff := addr % g.StripeUnit
+		n := g.StripeUnit - unitOff
+		if n > remaining {
+			n = remaining
+		}
+		ext := Extent{
+			Stripe:  loc.Stripe,
+			DataIdx: loc.DataIdx,
+			Disk:    loc.Disk,
+			DiskOff: loc.DiskOff,
+			UnitOff: unitOff,
+			Len:     n,
+			ArrOff:  addr,
+		}
+		if len(spans) > 0 && spans[len(spans)-1].Stripe == loc.Stripe {
+			last := &spans[len(spans)-1]
+			last.Extents = append(last.Extents, ext)
+		} else {
+			spans = append(spans, StripeSpan{Stripe: loc.Stripe, Extents: []Extent{ext}})
+		}
+		addr += n
+		remaining -= n
+	}
+	return spans
+}

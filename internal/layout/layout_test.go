@@ -1,0 +1,271 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func geo5() Geometry {
+	return Geometry{Disks: 5, StripeUnit: 8 << 10, DiskSize: 64 << 20, Level: RAID5}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		g  Geometry
+		ok bool
+	}{
+		{geo5(), true},
+		{Geometry{Disks: 1, StripeUnit: 8 << 10, DiskSize: 64 << 20, Level: RAID5}, false},
+		{Geometry{Disks: 2, StripeUnit: 8 << 10, DiskSize: 64 << 20, Level: RAID5}, true},
+		{Geometry{Disks: 2, StripeUnit: 8 << 10, DiskSize: 64 << 20, Level: RAID6}, false},
+		{Geometry{Disks: 3, StripeUnit: 8 << 10, DiskSize: 64 << 20, Level: RAID6}, true},
+		{Geometry{Disks: 1, StripeUnit: 8 << 10, DiskSize: 64 << 20, Level: RAID0}, true},
+		{Geometry{Disks: 5, StripeUnit: 0, DiskSize: 64 << 20, Level: RAID5}, false},
+		{Geometry{Disks: 5, StripeUnit: 8 << 10, DiskSize: 100, Level: RAID5}, false},
+	}
+	for i, c := range cases {
+		err := c.g.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() err=%v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestCapacityArithmetic(t *testing.T) {
+	g := geo5()
+	if g.DataDisks() != 4 {
+		t.Fatalf("DataDisks = %d", g.DataDisks())
+	}
+	if g.Stripes() != (64<<20)/(8<<10) {
+		t.Fatalf("Stripes = %d", g.Stripes())
+	}
+	if g.Capacity() != 4*(64<<20) {
+		t.Fatalf("Capacity = %d", g.Capacity())
+	}
+	g.Level = RAID0
+	if g.Capacity() != 5*(64<<20) {
+		t.Fatalf("RAID0 capacity = %d", g.Capacity())
+	}
+	g.Level = RAID6
+	if g.Capacity() != 3*(64<<20) {
+		t.Fatalf("RAID6 capacity = %d", g.Capacity())
+	}
+}
+
+func TestParityRotatesLeftSymmetric(t *testing.T) {
+	g := geo5()
+	// Stripe 0 parity on last disk, then rotating left.
+	want := []int{4, 3, 2, 1, 0, 4, 3}
+	for s, w := range want {
+		if got := g.ParityDisk(int64(s)); got != w {
+			t.Fatalf("ParityDisk(%d) = %d, want %d", s, got, w)
+		}
+	}
+}
+
+func TestParityEvenlySpread(t *testing.T) {
+	g := geo5()
+	counts := make([]int, g.Disks)
+	for s := int64(0); s < 100; s++ {
+		counts[g.ParityDisk(s)]++
+	}
+	for d, c := range counts {
+		if c != 20 {
+			t.Fatalf("disk %d holds %d parity units out of 100 stripes", d, c)
+		}
+	}
+}
+
+func TestDataDisksDistinctFromParity(t *testing.T) {
+	for _, lvl := range []Level{RAID5, RAID6} {
+		g := geo5()
+		g.Level = lvl
+		for s := int64(0); s < 50; s++ {
+			used := map[int]bool{}
+			if p := g.ParityDisk(s); p >= 0 {
+				used[p] = true
+			}
+			if q := g.QDisk(s); q >= 0 {
+				if used[q] {
+					t.Fatalf("%s stripe %d: Q collides with P", lvl, s)
+				}
+				used[q] = true
+			}
+			for i := 0; i < g.DataDisks(); i++ {
+				d := g.DataDisk(s, i)
+				if used[d] {
+					t.Fatalf("%s stripe %d: data %d collides on disk %d", lvl, s, i, d)
+				}
+				used[d] = true
+			}
+			if len(used) != g.Disks {
+				t.Fatalf("%s stripe %d: only %d disks used", lvl, s, len(used))
+			}
+		}
+	}
+}
+
+func TestRoleOfInvertsDataDisk(t *testing.T) {
+	for _, lvl := range []Level{RAID0, RAID5, RAID6} {
+		g := geo5()
+		g.Level = lvl
+		for s := int64(0); s < 30; s++ {
+			for i := 0; i < g.DataDisks(); i++ {
+				d := g.DataDisk(s, i)
+				role, idx := g.RoleOf(s, d)
+				if role != Data || idx != i {
+					t.Fatalf("%s stripe %d: RoleOf(disk %d) = %v,%d, want data,%d", lvl, s, d, role, idx, i)
+				}
+			}
+			if lvl != RAID0 {
+				role, _ := g.RoleOf(s, g.ParityDisk(s))
+				if role != Parity {
+					t.Fatalf("%s stripe %d: parity disk role = %v", lvl, s, role)
+				}
+			}
+			if lvl == RAID6 {
+				role, _ := g.RoleOf(s, g.QDisk(s))
+				if role != ParityQ {
+					t.Fatalf("stripe %d: Q disk role = %v", s, role)
+				}
+			}
+		}
+	}
+}
+
+func TestLocateBijection(t *testing.T) {
+	g := Geometry{Disks: 5, StripeUnit: 4 << 10, DiskSize: 1 << 20, Level: RAID5}
+	seen := map[[2]int64]int64{} // (disk, diskOff) -> addr
+	step := int64(4 << 10)
+	for addr := int64(0); addr < g.Capacity(); addr += step {
+		loc := g.Locate(addr)
+		key := [2]int64{int64(loc.Disk), loc.DiskOff}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("addresses %d and %d map to same physical location %v", prev, addr, key)
+		}
+		seen[key] = addr
+		// Round-trip through RoleOf.
+		role, idx := g.RoleOf(loc.Stripe, loc.Disk)
+		if role != Data || idx != loc.DataIdx {
+			t.Fatalf("RoleOf disagrees with Locate at addr %d", addr)
+		}
+	}
+}
+
+func TestLocateQuick(t *testing.T) {
+	g := geo5()
+	prop := func(raw int64) bool {
+		addr := raw % g.Capacity()
+		if addr < 0 {
+			addr += g.Capacity()
+		}
+		loc := g.Locate(addr)
+		if loc.Disk < 0 || loc.Disk >= g.Disks {
+			return false
+		}
+		if loc.DiskOff < 0 || loc.DiskOff >= g.DiskSize {
+			return false
+		}
+		// Stripe unit boundaries respected.
+		return loc.DiskOff/g.StripeUnit == loc.Stripe
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitCoversRangeExactly(t *testing.T) {
+	g := geo5()
+	prop := func(rawOff, rawLen int64) bool {
+		capb := g.Capacity()
+		off := rawOff % capb
+		if off < 0 {
+			off += capb
+		}
+		maxLen := capb - off
+		length := rawLen % (256 << 10)
+		if length < 0 {
+			length = -length
+		}
+		if length > maxLen {
+			length = maxLen
+		}
+		spans := g.Split(off, length)
+		var total int64
+		addr := off
+		for _, sp := range spans {
+			for _, e := range sp.Extents {
+				if e.ArrOff != addr {
+					return false
+				}
+				if e.Stripe != sp.Stripe {
+					return false
+				}
+				if e.Len <= 0 || e.UnitOff+e.Len > g.StripeUnit {
+					return false
+				}
+				loc := g.Locate(e.ArrOff)
+				if loc.Disk != e.Disk || loc.DiskOff != e.DiskOff || loc.DataIdx != e.DataIdx {
+					return false
+				}
+				addr += e.Len
+				total += e.Len
+			}
+		}
+		return total == length
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitFullStripeDetection(t *testing.T) {
+	g := geo5()
+	spans := g.Split(0, g.StripeDataBytes())
+	if len(spans) != 1 {
+		t.Fatalf("full-stripe write split into %d spans", len(spans))
+	}
+	if !spans[0].FullStripe(g) {
+		t.Fatal("full stripe not detected")
+	}
+	spans = g.Split(0, g.StripeDataBytes()-1)
+	if spans[0].FullStripe(g) {
+		t.Fatal("partial stripe misdetected as full")
+	}
+}
+
+func TestSplitEmptyRange(t *testing.T) {
+	g := geo5()
+	if spans := g.Split(100, 0); len(spans) != 0 {
+		t.Fatalf("empty range produced %d spans", len(spans))
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if RAID0.String() != "RAID0" || RAID5.String() != "RAID5" || RAID6.String() != "RAID6" {
+		t.Fatal("level names wrong")
+	}
+	if Data.String() != "data" || Parity.String() != "parity" || ParityQ.String() != "parityQ" {
+		t.Fatal("role names wrong")
+	}
+}
+
+func TestQParityEvenlySpread(t *testing.T) {
+	g := geo5()
+	g.Level = RAID6
+	counts := make([]int, g.Disks)
+	for s := int64(0); s < 100; s++ {
+		counts[g.QDisk(s)]++
+	}
+	for d, c := range counts {
+		if c != 20 {
+			t.Fatalf("disk %d holds %d Q units out of 100 stripes", d, c)
+		}
+	}
+	// P and Q never collide and rotate together.
+	for s := int64(0); s < 50; s++ {
+		if g.QDisk(s) == g.ParityDisk(s) {
+			t.Fatalf("stripe %d: P and Q on the same disk", s)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package parity
+
+import "fmt"
+
+// GF(2^8) arithmetic with the standard RAID 6 / Reed-Solomon polynomial
+// x^8+x^4+x^3+x^2+1 (0x11d), under which 2 is a primitive element, using
+// log/antilog tables generated at init time. This supports the P+Q
+// (RAID 6) codec for the paper's §5 extension: P = sum(d_i),
+// Q = sum(g^i * d_i) with generator g = 2.
+
+var (
+	gfExp [512]byte // g^i for i in [0,510), doubled to avoid mod 255
+	gfLog [256]byte // log_g(x) for x != 0
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 2 in GF(2^8)
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= 0x1d
+		}
+	}
+	for i := 255; i < 510; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b (b != 0).
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("parity: GF division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfPow returns g^n for the generator g=2.
+func gfPow(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return gfExp[n]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("parity: GF inverse of zero")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// mulInto computes dst ^= c * src over GF(2^8) bytes.
+func mulInto(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("parity: mulInto length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XOR(dst, src)
+		return
+	}
+	lc := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+int(gfLog[s])]
+		}
+	}
+}
+
+// ComputePQ writes the RAID 6 P and Q parity blocks for the data blocks.
+// Block i contributes g^i to Q. All blocks, p, and q must share a length.
+func ComputePQ(p, q []byte, blocks ...[]byte) {
+	if len(blocks) == 0 {
+		panic("parity: ComputePQ with no blocks")
+	}
+	if len(blocks) > 255 {
+		panic("parity: ComputePQ supports at most 255 data blocks")
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	for i := range q {
+		q[i] = 0
+	}
+	for i, b := range blocks {
+		XOR(p, b)
+		mulInto(q, b, gfPow(i))
+	}
+}
+
+// ReconstructOnePQ recovers data block idx from P (or Q if P is lost)
+// plus survivors. If useQ is false it uses P exactly like RAID 5; if
+// true it uses Q: d_idx = (Q - sum_{j!=idx} g^j d_j) / g^idx.
+func ReconstructOnePQ(dst []byte, idx int, useQ bool, pq []byte, survivors map[int][]byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if !useQ {
+		XOR(dst, pq)
+		for _, b := range survivors {
+			XOR(dst, b)
+		}
+		return
+	}
+	XOR(dst, pq)
+	for j, b := range survivors {
+		mulInto(dst, b, gfPow(j))
+	}
+	inv := gfInv(gfPow(idx))
+	for i := range dst {
+		dst[i] = gfMul(dst[i], inv)
+	}
+}
+
+// ReconstructTwoPQ recovers two missing data blocks x and y (x != y)
+// given both P and Q and the surviving data blocks, writing results into
+// dx and dy. Standard RAID 6 double-erasure decode:
+//
+//	Pxy = P ^ sum(survivors)            (= dx ^ dy)
+//	Qxy = Q ^ sum(g^j survivors_j)      (= g^x dx ^ g^y dy)
+//	dx  = (g^(y-x) Pxy ^ g^(-x) Qxy) / (g^(y-x) ^ 1)
+//	dy  = Pxy ^ dx
+func ReconstructTwoPQ(dx, dy []byte, x, y int, p, q []byte, survivors map[int][]byte) {
+	if x == y {
+		panic(fmt.Sprintf("parity: ReconstructTwoPQ with x == y == %d", x))
+	}
+	n := len(p)
+	pxy := make([]byte, n)
+	qxy := make([]byte, n)
+	copy(pxy, p)
+	copy(qxy, q)
+	for j, b := range survivors {
+		XOR(pxy, b)
+		mulInto(qxy, b, gfPow(j))
+	}
+	// a = g^(y-x), b = g^(-x)
+	a := gfPow(y - x)
+	binv := gfPow(-x)
+	denom := a ^ 1
+	for i := 0; i < n; i++ {
+		dx[i] = gfDiv(gfMul(a, pxy[i])^gfMul(binv, qxy[i]), denom)
+		dy[i] = pxy[i] ^ dx[i]
+	}
+}
+
+// UpdateQ applies the read-modify-write delta to a Q parity block for
+// data block idx: Q ^= g^idx * (old ^ new). The RAID 6 analogue of
+// Update.
+func UpdateQ(q, oldData, newData []byte, idx int) {
+	delta := make([]byte, len(oldData))
+	copy(delta, oldData)
+	XOR(delta, newData)
+	mulInto(q, delta, gfPow(idx))
+}
+
+// CheckPQ reports whether p and q are consistent with blocks.
+func CheckPQ(p, q []byte, blocks ...[]byte) bool {
+	tp := make([]byte, len(p))
+	tq := make([]byte, len(q))
+	ComputePQ(tp, tq, blocks...)
+	for i := range tp {
+		if tp[i] != p[i] || tq[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}

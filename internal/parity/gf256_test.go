@@ -1,0 +1,173 @@
+package parity
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFMulProperties(t *testing.T) {
+	// Identity, zero, commutativity, and distributivity over a sample.
+	for a := 0; a < 256; a++ {
+		if gfMul(byte(a), 1) != byte(a) {
+			t.Fatalf("a*1 != a for a=%d", a)
+		}
+		if gfMul(byte(a), 0) != 0 {
+			t.Fatalf("a*0 != 0 for a=%d", a)
+		}
+	}
+	prop := func(a, b, c byte) bool {
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+	}
+}
+
+func TestGFDivInvertsMul(t *testing.T) {
+	prop := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return gfDiv(gfMul(a, b), b) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFPowCycle(t *testing.T) {
+	if gfPow(0) != 1 {
+		t.Fatal("g^0 != 1")
+	}
+	if gfPow(255) != 1 {
+		t.Fatal("g^255 != 1 (generator order)")
+	}
+	if gfPow(-1) != gfInv(gfPow(1)) {
+		t.Fatal("g^-1 != inverse of g")
+	}
+}
+
+func randomBlocks(seed uint64, width, blockLen int) [][]byte {
+	s := seed
+	next := func() byte {
+		s = s*6364136223846793005 + 1442695040888963407
+		return byte(s >> 56)
+	}
+	blocks := make([][]byte, width)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockLen)
+		for j := range blocks[i] {
+			blocks[i][j] = next()
+		}
+	}
+	return blocks
+}
+
+func TestPQSingleReconstruction(t *testing.T) {
+	prop := func(seed uint64, wv uint8) bool {
+		width := int(wv%6) + 2
+		blocks := randomBlocks(seed, width, 48)
+		p := make([]byte, 48)
+		q := make([]byte, 48)
+		ComputePQ(p, q, blocks...)
+		for lost := 0; lost < width; lost++ {
+			survivors := map[int][]byte{}
+			for i, b := range blocks {
+				if i != lost {
+					survivors[i] = b
+				}
+			}
+			gotP := make([]byte, 48)
+			ReconstructOnePQ(gotP, lost, false, p, survivors)
+			if !bytes.Equal(gotP, blocks[lost]) {
+				return false
+			}
+			gotQ := make([]byte, 48)
+			ReconstructOnePQ(gotQ, lost, true, q, survivors)
+			if !bytes.Equal(gotQ, blocks[lost]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPQDoubleReconstruction(t *testing.T) {
+	prop := func(seed uint64, wv uint8) bool {
+		width := int(wv%5) + 3 // 3..7 data blocks
+		blocks := randomBlocks(seed, width, 40)
+		p := make([]byte, 40)
+		q := make([]byte, 40)
+		ComputePQ(p, q, blocks...)
+		for x := 0; x < width; x++ {
+			for y := x + 1; y < width; y++ {
+				survivors := map[int][]byte{}
+				for i, b := range blocks {
+					if i != x && i != y {
+						survivors[i] = b
+					}
+				}
+				dx := make([]byte, 40)
+				dy := make([]byte, 40)
+				ReconstructTwoPQ(dx, dy, x, y, p, q, survivors)
+				if !bytes.Equal(dx, blocks[x]) || !bytes.Equal(dy, blocks[y]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPQDetectsCorruption(t *testing.T) {
+	blocks := randomBlocks(99, 4, 32)
+	p := make([]byte, 32)
+	q := make([]byte, 32)
+	ComputePQ(p, q, blocks...)
+	if !CheckPQ(p, q, blocks...) {
+		t.Fatal("CheckPQ rejected valid parity")
+	}
+	q[5] ^= 0x01
+	if CheckPQ(p, q, blocks...) {
+		t.Fatal("CheckPQ accepted corrupted Q")
+	}
+}
+
+func TestPQMatchesXORForP(t *testing.T) {
+	blocks := randomBlocks(7, 5, 16)
+	p := make([]byte, 16)
+	q := make([]byte, 16)
+	ComputePQ(p, q, blocks...)
+	p2 := make([]byte, 16)
+	Compute(p2, blocks...)
+	if !bytes.Equal(p, p2) {
+		t.Fatal("RAID 6 P parity differs from RAID 5 XOR parity")
+	}
+}
+
+func TestReconstructTwoSameIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("x == y did not panic")
+		}
+	}()
+	ReconstructTwoPQ(make([]byte, 4), make([]byte, 4), 2, 2, make([]byte, 4), make([]byte, 4), nil)
+}

@@ -1,0 +1,77 @@
+// Package parity implements the redundancy codecs used by the array:
+// single-parity XOR (RAID 5 / AFRAID) and the GF(2^8) P+Q pair used for
+// the paper's §5 RAID 6 extension.
+package parity
+
+import "fmt"
+
+// XOR computes dst ^= src for equal-length blocks. It panics on length
+// mismatch: block sizes are fixed per array and a mismatch is a bug.
+func XOR(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("parity: XOR length mismatch %d != %d", len(dst), len(src)))
+	}
+	// Word-at-a-time main loop; the compiler vectorizes this well.
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// Compute writes the XOR parity of blocks into p. All blocks and p must
+// have the same length. At least one block is required.
+func Compute(p []byte, blocks ...[]byte) {
+	if len(blocks) == 0 {
+		panic("parity: Compute with no blocks")
+	}
+	copy(p, blocks[0])
+	if len(p) != len(blocks[0]) {
+		panic("parity: Compute parity/block length mismatch")
+	}
+	for _, b := range blocks[1:] {
+		XOR(p, b)
+	}
+}
+
+// Reconstruct recovers a single missing block given the parity block and
+// the surviving data blocks, writing the result into dst.
+func Reconstruct(dst, p []byte, survivors ...[]byte) {
+	copy(dst, p)
+	if len(dst) != len(p) {
+		panic("parity: Reconstruct dst/parity length mismatch")
+	}
+	for _, b := range survivors {
+		XOR(dst, b)
+	}
+}
+
+// Update applies the RAID 5 read-modify-write parity delta: given the
+// parity block p, the old contents of a data block, and its new
+// contents, it updates p in place to be consistent with the new data.
+func Update(p, oldData, newData []byte) {
+	XOR(p, oldData)
+	XOR(p, newData)
+}
+
+// Check reports whether p equals the XOR of blocks.
+func Check(p []byte, blocks ...[]byte) bool {
+	tmp := make([]byte, len(p))
+	Compute(tmp, blocks...)
+	for i := range tmp {
+		if tmp[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+// Package sim provides a deterministic discrete-event simulation engine,
+// pseudo-random number generation, probability distributions, and the
+// statistics accumulators used throughout the AFRAID reproduction.
+//
+// The engine models virtual time as a time.Duration offset from the start
+// of the simulation. Events are closures scheduled for a particular
+// virtual time; the engine executes them in time order, breaking ties by
+// scheduling order so that runs are fully deterministic for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func()
+
+// event is an entry in the engine's pending-event heap.
+type event struct {
+	at   time.Duration // virtual time the event fires
+	seq  uint64        // tie-breaker: insertion order
+	fn   Event
+	dead bool // cancelled
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	e *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired
+// (and was therefore actually cancelled). Stopping an already-fired or
+// already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.dead {
+		return false
+	}
+	t.e.dead = true
+	return true
+}
+
+// When returns the virtual time at which the timer will fire.
+func (t *Timer) When() time.Duration { return t.e.at }
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	pending eventHeap
+	steps   uint64
+	// MaxSteps bounds the number of events executed by Run as a runaway
+	// guard; zero means no bound.
+	MaxSteps uint64
+}
+
+// NewEngine returns an engine with virtual time zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events that are scheduled and not cancelled.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.pending {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it always indicates a model bug.
+func (e *Engine) At(t time.Duration, fn Event) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pending, ev)
+	return &Timer{e: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn Event) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing virtual time
+// to its timestamp. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for e.pending.Len() > 0 {
+		ev := heap.Pop(&e.pending).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain (or MaxSteps is hit). It returns
+// the final virtual time.
+func (e *Engine) Run() time.Duration {
+	for e.Step() {
+		if e.MaxSteps != 0 && e.steps >= e.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
+		}
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// virtual clock to deadline. Events beyond the deadline remain pending.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	for {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+		if e.MaxSteps != 0 && e.steps >= e.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
+		}
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// peek returns the timestamp of the earliest live pending event.
+func (e *Engine) peek() (time.Duration, bool) {
+	for e.pending.Len() > 0 {
+		ev := e.pending[0]
+		if ev.dead {
+			heap.Pop(&e.pending)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}

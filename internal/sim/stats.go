@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean accumulates a running mean and variance (Welford's algorithm).
+type Mean struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (m *Mean) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Mean) N() uint64 { return m.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (m *Mean) Mean() float64 { return m.mean }
+
+// Var returns the sample variance (n-1 denominator).
+func (m *Mean) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (m *Mean) Stddev() float64 { return math.Sqrt(m.Var()) }
+
+// Min returns the smallest observation (0 if none).
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 if none).
+func (m *Mean) Max() float64 { return m.max }
+
+// DurationStats accumulates duration observations with exact quantiles
+// (it retains samples; simulations here produce at most a few hundred
+// thousand requests, so this is cheap and precise).
+type DurationStats struct {
+	mean    Mean
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one duration observation.
+func (d *DurationStats) Add(v time.Duration) {
+	d.mean.Add(float64(v))
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// N returns the number of observations.
+func (d *DurationStats) N() uint64 { return d.mean.N() }
+
+// Mean returns the mean duration.
+func (d *DurationStats) Mean() time.Duration { return time.Duration(d.mean.Mean()) }
+
+// Max returns the maximum duration.
+func (d *DurationStats) Max() time.Duration { return time.Duration(d.mean.Max()) }
+
+// Min returns the minimum duration.
+func (d *DurationStats) Min() time.Duration { return time.Duration(d.mean.Min()) }
+
+// Stddev returns the standard deviation of the durations.
+func (d *DurationStats) Stddev() time.Duration { return time.Duration(d.mean.Stddev()) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the observations,
+// or 0 with no observations.
+func (d *DurationStats) Quantile(q float64) time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+		d.sorted = true
+	}
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	idx := int(q * float64(len(d.samples)-1))
+	return d.samples[idx]
+}
+
+// String summarizes the distribution.
+func (d *DurationStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		d.N(), d.Mean().Round(time.Microsecond),
+		d.Quantile(0.5).Round(time.Microsecond),
+		d.Quantile(0.95).Round(time.Microsecond),
+		d.Quantile(0.99).Round(time.Microsecond),
+		d.Max().Round(time.Microsecond))
+}
+
+// TimeWeighted integrates a piecewise-constant value over virtual time,
+// yielding its time-average. It is used for parity-lag (bytes) and for
+// unprotected-time accounting.
+type TimeWeighted struct {
+	last     time.Duration
+	value    float64
+	integral float64 // value * seconds
+	started  bool
+	// nonZero accumulates the total time during which value > 0.
+	nonZero time.Duration
+}
+
+// Set records that the tracked value becomes v at virtual time now.
+func (t *TimeWeighted) Set(now time.Duration, v float64) {
+	if !t.started {
+		t.last = now
+		t.value = v
+		t.started = true
+		return
+	}
+	if now < t.last {
+		panic(fmt.Sprintf("sim: TimeWeighted time going backwards: %v < %v", now, t.last))
+	}
+	dt := now - t.last
+	t.integral += t.value * dt.Seconds()
+	if t.value > 0 {
+		t.nonZero += dt
+	}
+	t.last = now
+	t.value = v
+}
+
+// Add adjusts the tracked value by delta at virtual time now.
+func (t *TimeWeighted) Add(now time.Duration, delta float64) {
+	t.Set(now, t.value+delta)
+}
+
+// Value returns the current tracked value.
+func (t *TimeWeighted) Value() float64 { return t.value }
+
+// Finish closes the integration at virtual time end and returns the
+// time-average of the value from the first Set to end.
+func (t *TimeWeighted) Finish(end time.Duration) float64 {
+	t.Set(end, t.value)
+	total := t.last.Seconds()
+	if total == 0 {
+		return 0
+	}
+	return t.integral / total
+}
+
+// Average returns the time-average up to virtual time now without
+// terminating the accumulator.
+func (t *TimeWeighted) Average(now time.Duration) float64 {
+	if !t.started || now == 0 {
+		return 0
+	}
+	integral := t.integral + t.value*(now-t.last).Seconds()
+	return integral / now.Seconds()
+}
+
+// NonZeroTime returns the total virtual time during which the tracked
+// value was positive, up to the last Set/Add call.
+func (t *TimeWeighted) NonZeroTime() time.Duration { return t.nonZero }
+
+// NonZeroTimeAt returns total positive-valued time including the open
+// interval ending at now.
+func (t *TimeWeighted) NonZeroTimeAt(now time.Duration) time.Duration {
+	nz := t.nonZero
+	if t.started && t.value > 0 && now > t.last {
+		nz += now - t.last
+	}
+	return nz
+}
+
+// GeometricMean returns the geometric mean of xs. All values must be
+// positive; it returns 0 for an empty slice.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("sim: GeometricMean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Histogram is a fixed-bucket histogram over durations, used for
+// reporting latency distributions.
+type Histogram struct {
+	Bounds []time.Duration // ascending upper bounds; implicit +inf final bucket
+	Counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds.
+func NewHistogram(bounds ...time.Duration) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("sim: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(v time.Duration) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count for bucket i (the final bucket catches
+// overflow values).
+func (h *Histogram) Bucket(i int) uint64 { return h.Counts[i] }

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// BurstStats summarizes the burst/idle structure of a trace — the
+// property AFRAID exploits ("real-life workloads really are bursty").
+// A burst is a maximal run of requests whose inter-arrival gaps stay
+// below the gap threshold.
+type BurstStats struct {
+	GapThreshold time.Duration
+
+	Requests int
+	Bursts   int
+	// MeanBurstLen is the mean number of requests per burst.
+	MeanBurstLen float64
+	// MeanIntraGap is the mean inter-arrival time within bursts.
+	MeanIntraGap time.Duration
+	// Idle-gap distribution (gaps >= GapThreshold).
+	IdleGaps    int
+	MeanIdleGap time.Duration
+	P50IdleGap  time.Duration
+	P95IdleGap  time.Duration
+	MaxIdleGap  time.Duration
+	// IdleFrac is the fraction of the trace duration spent in idle
+	// gaps — the paper's headroom for parity rebuilds.
+	IdleFrac float64
+	// WriteFrac is the write fraction of all requests.
+	WriteFrac float64
+	// MeanRate is requests per second over the whole trace.
+	MeanRate float64
+	// BurstRate is requests per second within bursts (the load the
+	// array must absorb while a burst lasts).
+	BurstRate float64
+}
+
+// Analyze computes burst statistics with the given gap threshold
+// (<= 0 selects 250 ms, several times the catalog's intra-burst gaps).
+func (t *Trace) Analyze(gapThreshold time.Duration) BurstStats {
+	if gapThreshold <= 0 {
+		gapThreshold = 250 * time.Millisecond
+	}
+	s := BurstStats{GapThreshold: gapThreshold, Requests: len(t.Records)}
+	if len(t.Records) == 0 {
+		return s
+	}
+
+	var (
+		idleGaps  []time.Duration
+		idleTotal time.Duration
+		intraSum  time.Duration
+		intraN    int
+		writes    int
+	)
+	s.Bursts = 1
+	for i, r := range t.Records {
+		if r.Write {
+			writes++
+		}
+		if i == 0 {
+			continue
+		}
+		gap := r.Time - t.Records[i-1].Time
+		if gap >= gapThreshold {
+			s.Bursts++
+			idleGaps = append(idleGaps, gap)
+			idleTotal += gap
+		} else {
+			intraSum += gap
+			intraN++
+		}
+	}
+
+	s.MeanBurstLen = float64(s.Requests) / float64(s.Bursts)
+	if intraN > 0 {
+		s.MeanIntraGap = intraSum / time.Duration(intraN)
+	}
+	s.IdleGaps = len(idleGaps)
+	if len(idleGaps) > 0 {
+		sort.Slice(idleGaps, func(i, j int) bool { return idleGaps[i] < idleGaps[j] })
+		s.MeanIdleGap = idleTotal / time.Duration(len(idleGaps))
+		s.P50IdleGap = idleGaps[len(idleGaps)/2]
+		s.P95IdleGap = idleGaps[int(0.95*float64(len(idleGaps)-1))]
+		s.MaxIdleGap = idleGaps[len(idleGaps)-1]
+	}
+	dur := t.Duration()
+	if dur > 0 {
+		s.IdleFrac = float64(idleTotal) / float64(dur)
+		s.MeanRate = float64(s.Requests) / dur.Seconds()
+	}
+	s.WriteFrac = float64(writes) / float64(s.Requests)
+	busy := dur - idleTotal
+	if busy > 0 {
+		s.BurstRate = float64(s.Requests) / busy.Seconds()
+	}
+	return s
+}
+
+// String renders the statistics.
+func (s BurstStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests      %d (%.0f%% writes, %.1f/s overall, %.1f/s in bursts)\n",
+		s.Requests, 100*s.WriteFrac, s.MeanRate, s.BurstRate)
+	fmt.Fprintf(&b, "bursts        %d (mean %.1f requests, intra-gap %v)\n",
+		s.Bursts, s.MeanBurstLen, s.MeanIntraGap.Round(time.Millisecond))
+	fmt.Fprintf(&b, "idle gaps     %d >= %v: mean %v, p50 %v, p95 %v, max %v\n",
+		s.IdleGaps, s.GapThreshold,
+		s.MeanIdleGap.Round(time.Millisecond),
+		s.P50IdleGap.Round(time.Millisecond),
+		s.P95IdleGap.Round(time.Millisecond),
+		s.MaxIdleGap.Round(time.Millisecond))
+	fmt.Fprintf(&b, "idle fraction %.1f%% of the trace\n", 100*s.IdleFrac)
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAnalyzeSimpleTrace(t *testing.T) {
+	// Two bursts of 3 requests at 10ms spacing, separated by 1s.
+	tr := &Trace{}
+	times := []time.Duration{
+		0, 10 * time.Millisecond, 20 * time.Millisecond,
+		1020 * time.Millisecond, 1030 * time.Millisecond, 1040 * time.Millisecond,
+	}
+	for i, at := range times {
+		tr.Records = append(tr.Records, Record{Time: at, Write: i%2 == 0, Offset: 0, Length: 4096})
+	}
+	s := tr.Analyze(250 * time.Millisecond)
+	if s.Bursts != 2 {
+		t.Fatalf("bursts = %d, want 2", s.Bursts)
+	}
+	if s.MeanBurstLen != 3 {
+		t.Fatalf("mean burst len = %g, want 3", s.MeanBurstLen)
+	}
+	if s.IdleGaps != 1 || s.MaxIdleGap != time.Second {
+		t.Fatalf("idle gaps = %d max %v", s.IdleGaps, s.MaxIdleGap)
+	}
+	if s.MeanIntraGap != 10*time.Millisecond {
+		t.Fatalf("intra gap = %v", s.MeanIntraGap)
+	}
+	// Idle fraction: 1s of 1.04s.
+	if s.IdleFrac < 0.9 || s.IdleFrac > 1.0 {
+		t.Fatalf("idle frac = %g", s.IdleFrac)
+	}
+	if s.WriteFrac != 0.5 {
+		t.Fatalf("write frac = %g", s.WriteFrac)
+	}
+	if out := s.String(); !strings.Contains(out, "bursts") {
+		t.Fatal("String output missing")
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	s := (&Trace{}).Analyze(0)
+	if s.Requests != 0 || s.Bursts != 0 {
+		t.Fatalf("empty trace stats: %+v", s)
+	}
+}
+
+func TestCatalogBurstCharacter(t *testing.T) {
+	// The catalog's qualitative ordering must survive analysis: the
+	// bursty traces spend most of their time idle; att the least.
+	idleFrac := map[string]float64{}
+	for _, name := range Names() {
+		tr := genNamed(t, name, 2*time.Minute, 9)
+		idleFrac[name] = tr.Analyze(0).IdleFrac
+	}
+	if idleFrac["hplajw"] < 0.7 {
+		t.Errorf("hplajw idle fraction %.2f, want mostly idle", idleFrac["hplajw"])
+	}
+	if idleFrac["att"] > idleFrac["hplajw"] {
+		t.Errorf("att idler (%.2f) than hplajw (%.2f)", idleFrac["att"], idleFrac["hplajw"])
+	}
+	if idleFrac["att"] > 0.8 {
+		t.Errorf("att idle fraction %.2f, want clearly the busiest trace", idleFrac["att"])
+	}
+	if idleFrac["hplajw"]-idleFrac["att"] < 0.15 {
+		t.Errorf("att (%.2f) not clearly busier than hplajw (%.2f)", idleFrac["att"], idleFrac["hplajw"])
+	}
+	// Burst-local rates exceed overall rates everywhere (burstiness).
+	for _, name := range Names() {
+		tr := genNamed(t, name, time.Minute, 5)
+		s := tr.Analyze(0)
+		if s.BurstRate <= s.MeanRate {
+			t.Errorf("%s: burst rate %.1f not above mean rate %.1f", name, s.BurstRate, s.MeanRate)
+		}
+	}
+}
