@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The context variants exist for the network frontend: a per-request
+// deadline must be able to stop multi-stripe work between spans. These
+// tests pin the contract — a cancelled context aborts before touching
+// the next span, and the plain ReadAt/WriteAt wrappers stay no-ops.
+
+func TestContextVariantsMatchPlainCalls(t *testing.T) {
+	opts := Options{Mode: Afraid, DisableScrubber: true, StripeUnit: testUnit}
+	s, err := Open(newDevs(5), &MemNVRAM{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	data := pattern(3*testUnit+57, 7)
+	if _, err := s.WriteContext(context.Background(), data, 100); err != nil {
+		t.Fatalf("WriteContext: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := s.ReadContext(context.Background(), got, 100); err != nil {
+		t.Fatalf("ReadContext: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ReadContext returned different bytes than WriteContext stored")
+	}
+	if err := s.FlushContext(context.Background()); err != nil {
+		t.Fatalf("FlushContext: %v", err)
+	}
+	if n := s.DirtyStripes(); n != 0 {
+		t.Fatalf("dirty stripes after FlushContext = %d, want 0", n)
+	}
+}
+
+func TestContextCancellationAbortsIO(t *testing.T) {
+	opts := Options{Mode: Afraid, DisableScrubber: true, StripeUnit: testUnit}
+	s, err := Open(newDevs(5), &MemNVRAM{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	buf := make([]byte, 2*testUnit)
+	if _, err := s.ReadContext(ctx, buf, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := s.WriteContext(ctx, buf, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WriteContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// A dirty store refuses a cancelled flush without scrubbing.
+	if _, err := s.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	dirty := s.DirtyStripes()
+	if dirty == 0 {
+		t.Fatal("write left no dirty stripes")
+	}
+	if err := s.FlushContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FlushContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if n := s.DirtyStripes(); n != dirty {
+		t.Fatalf("cancelled flush changed dirty count %d -> %d", dirty, n)
+	}
+	if err := s.ParityPointContext(ctx, 0, s.Geometry().StripeDataBytes()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParityPointContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestContextDeadlineStopsLongFlush(t *testing.T) {
+	opts := Options{Mode: Afraid, DisableScrubber: true, StripeUnit: testUnit}
+	s, err := Open(newDevs(5), &MemNVRAM{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Dirty every stripe, then flush with an already-expired deadline:
+	// the flush must abort between stripes rather than run to the end.
+	for st := int64(0); st < s.Geometry().Stripes(); st++ {
+		if _, err := s.WriteAt(pattern(64, byte(st)), st*s.Geometry().StripeDataBytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := s.FlushContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("FlushContext with expired deadline = %v, want DeadlineExceeded", err)
+	}
+	if n := s.DirtyStripes(); n == 0 {
+		t.Fatal("expired-deadline flush scrubbed the whole array")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -163,10 +164,19 @@ func (s *Store) rebuildParity(stripe int64) error {
 // whole-array parity point. After a successful Flush the store is fully
 // redundant.
 func (s *Store) Flush() error {
+	return s.FlushContext(context.Background())
+}
+
+// FlushContext is Flush with cancellation, checked between stripes.
+// Stripes scrubbed before cancellation stay redundant.
+func (s *Store) FlushContext(ctx context.Context) error {
 	if s.opts.Mode == Raid0 {
 		return nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s.meta.Lock()
 		if s.closed {
 			s.meta.Unlock()
@@ -194,6 +204,12 @@ func (s *Store) Flush() error {
 // now — the §5 "commit" operation, analogous to the paritypoints of
 // Cormen & Kotz. It returns once their parity is consistent.
 func (s *Store) ParityPoint(off, length int64) error {
+	return s.ParityPointContext(context.Background(), off, length)
+}
+
+// ParityPointContext is ParityPoint with cancellation, checked between
+// stripes.
+func (s *Store) ParityPointContext(ctx context.Context, off, length int64) error {
 	if err := s.checkRange(off, length); err != nil {
 		return err
 	}
@@ -203,6 +219,9 @@ func (s *Store) ParityPoint(off, length int64) error {
 	first := off / s.geo.StripeDataBytes()
 	last := (off + length - 1) / s.geo.StripeDataBytes()
 	for stripe := first; stripe <= last; stripe++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s.meta.Lock()
 		dirty := s.marks.IsMarked(stripe)
 		dead := s.dead

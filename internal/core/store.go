@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -284,6 +285,9 @@ func (s *Store) Close() error {
 // Capacity returns the client-visible size in bytes.
 func (s *Store) Capacity() int64 { return s.geo.Capacity() }
 
+// Mode returns the store's redundancy mode.
+func (s *Store) Mode() Mode { return s.opts.Mode }
+
 // Geometry returns the striping parameters.
 func (s *Store) Geometry() layout.Geometry { return s.geo }
 
@@ -363,6 +367,15 @@ func (s *Store) SetStripePolicy(off, length int64, p StripePolicy) error {
 
 // ReadAt implements io.ReaderAt over the client address space.
 func (s *Store) ReadAt(p []byte, off int64) (int, error) {
+	return s.ReadContext(context.Background(), p, off)
+}
+
+// ReadContext is ReadAt with cancellation: the context is checked
+// before each stripe span, so a network frontend's per-request deadline
+// stops a large read between stripes instead of after it completes.
+// Already-read spans are not undone; a cancelled read returns 0 and the
+// context's error.
+func (s *Store) ReadContext(ctx context.Context, p []byte, off int64) (int, error) {
 	if err := s.checkRange(off, int64(len(p))); err != nil {
 		return 0, err
 	}
@@ -372,6 +385,9 @@ func (s *Store) ReadAt(p []byte, off int64) (int, error) {
 	s.touch()
 	spans := s.geo.Split(off, int64(len(p)))
 	for _, sp := range spans {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		lk := s.stripeLock(sp.Stripe)
 		lk.Lock()
 		var err error
@@ -451,6 +467,14 @@ func (s *Store) degradedReadExtent(dst []byte, stripe int64, e layout.Extent) er
 
 // WriteAt implements io.WriterAt over the client address space.
 func (s *Store) WriteAt(p []byte, off int64) (int, error) {
+	return s.WriteContext(context.Background(), p, off)
+}
+
+// WriteContext is WriteAt with cancellation, checked before each stripe
+// span. Spans written before cancellation stay written (the store has
+// no transactions); the caller learns how far the write got only by
+// re-reading, exactly as after a crash.
+func (s *Store) WriteContext(ctx context.Context, p []byte, off int64) (int, error) {
 	if err := s.checkRange(off, int64(len(p))); err != nil {
 		return 0, err
 	}
@@ -460,6 +484,9 @@ func (s *Store) WriteAt(p []byte, off int64) (int, error) {
 	s.touch()
 	spans := s.geo.Split(off, int64(len(p)))
 	for _, sp := range spans {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		lk := s.stripeLock(sp.Stripe)
 		lk.Lock()
 		var err error

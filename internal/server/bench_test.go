@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"afraid/internal/core"
+)
+
+// BenchmarkServerThroughput is the serving-path baseline: 4 KB random
+// writes from 8 concurrent loopback clients, AFRAID vs RAID 5 mode.
+// ns/op is the per-write wall time across the whole fleet; p95-ms is
+// the client-observed tail latency. The AFRAID/RAID5 ratio here is the
+// network-visible version of the paper's small-update-penalty result.
+func BenchmarkServerThroughput(b *testing.B) {
+	b.Run("afraid", func(b *testing.B) { benchmarkServerWrites(b, core.Afraid) })
+	b.Run("raid5", func(b *testing.B) { benchmarkServerWrites(b, core.Raid5) })
+}
+
+func benchmarkServerWrites(b *testing.B, mode core.Mode) {
+	const (
+		clients = 8
+		ioSize  = 4 << 10
+	)
+	devs := make([]core.BlockDevice, 5)
+	for i := range devs {
+		devs[i] = core.NewMemDevice(16 << 20)
+	}
+	st, err := core.Open(devs, &core.MemNVRAM{}, core.Options{Mode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	srv := New(st, Options{MaxInflight: 1024})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	region := st.Capacity() / clients
+	lats := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	perClient := b.N / clients
+
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(lis.Addr().String())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := int64(w) * region
+			buf := make([]byte, ioSize)
+			rng.Read(buf)
+			mine := make([]time.Duration, 0, perClient)
+			n := perClient
+			if w == 0 {
+				n += b.N % clients
+			}
+			for i := 0; i < n; i++ {
+				off := base + rng.Int63n(region-ioSize)
+				t0 := time.Now()
+				for {
+					_, err := c.WriteAt(buf, off)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrBusy) {
+						b.Error(err)
+						return
+					}
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			lats[w] = mine
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	all := make([]time.Duration, 0, b.N)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		b.ReportMetric(float64(pct(all, 0.95).Microseconds())/1e3, "p95-ms")
+	}
+	b.ReportMetric(float64(len(all))/elapsed.Seconds(), "ops/s")
+	b.SetBytes(ioSize)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}

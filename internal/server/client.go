@@ -1,0 +1,278 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"afraid/internal/core"
+)
+
+// Client errors mapped from response statuses.
+var (
+	// ErrBusy means the server's in-flight window was full; the request
+	// did no work and can be retried.
+	ErrBusy = errors.New("server: busy, retry")
+	// ErrTimeout means the server's per-request deadline expired.
+	ErrTimeout = errors.New("server: request timed out")
+	// ErrShutdown means the server cancelled the request while closing.
+	ErrShutdown = errors.New("server: shutting down")
+	// ErrBadRequest means the server rejected the request as invalid.
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// Client speaks the block protocol over one connection. It is safe for
+// concurrent use: every request carries a unique ID, concurrent calls
+// pipeline onto the connection, and a background reader completes them
+// in whatever order the server finishes (out-of-order completion).
+type Client struct {
+	nc         net.Conn
+	br         *bufio.Reader
+	capacity   int64
+	maxPayload uint32
+
+	wmu    sync.Mutex // serializes frame writes
+	encBuf []byte
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Response
+	err     error
+	done    chan struct{} // closed when the read loop exits
+}
+
+// Dial connects to an afraidd server and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient performs the handshake over an established connection and
+// starts the response reader. The client owns nc from here on.
+func NewClient(nc net.Conn) (*Client, error) {
+	if _, err := nc.Write([]byte(Magic)); err != nil {
+		return nil, fmt.Errorf("server: handshake write: %w", err)
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	reply := make([]byte, handshakeReplyLen)
+	if _, err := io.ReadFull(br, reply); err != nil {
+		return nil, fmt.Errorf("server: handshake read: %w", err)
+	}
+	if string(reply[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	capacity := uint64(0)
+	for _, b := range reply[len(Magic) : len(Magic)+8] {
+		capacity = capacity<<8 | uint64(b)
+	}
+	maxPayload := uint32(0)
+	for _, b := range reply[len(Magic)+8:] {
+		maxPayload = maxPayload<<8 | uint32(b)
+	}
+	if maxPayload == 0 {
+		return nil, fmt.Errorf("server: handshake advertises zero payload limit")
+	}
+	c := &Client{
+		nc:         nc,
+		br:         br,
+		capacity:   int64(capacity),
+		maxPayload: maxPayload,
+		pending:    make(map[uint64]chan Response),
+		done:       make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Capacity returns the served store's size in bytes.
+func (c *Client) Capacity() int64 { return c.capacity }
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	<-c.done
+	return err
+}
+
+// readLoop dispatches responses to waiting calls by request ID.
+func (c *Client) readLoop() {
+	for {
+		resp, err := ReadResponse(c.br, c.maxPayload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered; frame body is freshly allocated, safe to hand off
+		}
+	}
+}
+
+// fail records the terminal error and releases every waiter.
+func (c *Client) fail(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		err = fmt.Errorf("server: connection closed: %w", err)
+	}
+	c.mu.Lock()
+	c.err = err
+	c.pending = nil
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// do sends one request and waits for its completion.
+func (c *Client) do(ctx context.Context, req *Request) (Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+	req.ID = id
+
+	c.wmu.Lock()
+	c.encBuf = AppendRequest(c.encBuf[:0], req)
+	_, err := c.nc.Write(c.encBuf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		return Response{}, fmt.Errorf("server: send: %w", err)
+	}
+	select {
+	case resp := <-ch:
+		return resp, statusErr(resp)
+	case <-ctx.Done():
+		c.forget(id)
+		return Response{}, ctx.Err()
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, err
+	}
+}
+
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// statusErr maps a response status to a client error.
+func statusErr(r Response) error {
+	switch r.Status {
+	case StatusOK:
+		return nil
+	case StatusBusy:
+		return ErrBusy
+	case StatusBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadRequest, r.Data)
+	case StatusDataLoss:
+		return fmt.Errorf("%w: %s", core.ErrDataLoss, r.Data)
+	case StatusTimeout:
+		return fmt.Errorf("%w: %s", ErrTimeout, r.Data)
+	case StatusShutdown:
+		return fmt.Errorf("%w: %s", ErrShutdown, r.Data)
+	default:
+		return fmt.Errorf("server: %v: %s", r.Status, r.Data)
+	}
+}
+
+// ReadAt implements io.ReaderAt against the served store.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	return c.ReadAtContext(context.Background(), p, off)
+}
+
+// ReadAtContext reads len(p) bytes at off, splitting requests larger
+// than the server's payload limit into pipelined chunks.
+func (c *Client) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
+	n := 0
+	for n < len(p) {
+		chunk := len(p) - n
+		if chunk > int(c.maxPayload) {
+			chunk = int(c.maxPayload)
+		}
+		resp, err := c.do(ctx, &Request{Op: OpRead, Off: off + int64(n), Length: uint32(chunk)})
+		if err != nil {
+			return n, err
+		}
+		if len(resp.Data) != chunk {
+			return n, fmt.Errorf("server: READ returned %d bytes, want %d", len(resp.Data), chunk)
+		}
+		copy(p[n:], resp.Data)
+		n += chunk
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt against the served store.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	return c.WriteAtContext(context.Background(), p, off)
+}
+
+// WriteAtContext writes p at off, splitting writes larger than the
+// server's payload limit into chunks (which the server may re-coalesce).
+func (c *Client) WriteAtContext(ctx context.Context, p []byte, off int64) (int, error) {
+	n := 0
+	for n < len(p) {
+		chunk := len(p) - n
+		if chunk > int(c.maxPayload) {
+			chunk = int(c.maxPayload)
+		}
+		_, err := c.do(ctx, &Request{Op: OpWrite, Off: off + int64(n), Length: uint32(chunk), Data: p[n : n+chunk]})
+		if err != nil {
+			return n, err
+		}
+		n += chunk
+	}
+	return n, nil
+}
+
+// Flush asks the server to make the whole array redundant.
+func (c *Client) Flush(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: OpFlush})
+	return err
+}
+
+// Scrub asks the server to make the stripes covering [off, off+length)
+// redundant (a parity point).
+func (c *Client) Scrub(ctx context.Context, off, length int64) error {
+	if length < 0 || length > int64(^uint32(0)) {
+		return fmt.Errorf("%w: scrub length %d does not fit the wire's u32", ErrBadRequest, length)
+	}
+	_, err := c.do(ctx, &Request{Op: OpScrub, Off: off, Length: uint32(length)})
+	return err
+}
+
+// Stat returns the server's store snapshot.
+func (c *Client) Stat(ctx context.Context) (Stat, error) {
+	resp, err := c.do(ctx, &Request{Op: OpStat})
+	if err != nil {
+		return Stat{}, err
+	}
+	return decodeStat(resp.Data)
+}
+
+// ModeString names the served store's redundancy mode.
+func (st Stat) ModeString() string { return core.Mode(st.Mode).String() }

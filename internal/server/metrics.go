@@ -1,0 +1,171 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics counts server activity as expvar vars. The vars live in a
+// per-server expvar.Map rather than the process-global registry so
+// multiple servers (tests, benchmarks) don't collide; Publish exports
+// the map globally for /debug/vars, and Handler serves it directly.
+type Metrics struct {
+	vars *expvar.Map
+
+	// Per-op request counters (one frame = one request, even when the
+	// server coalesces adjacent writes into a single store call).
+	requests *expvar.Map
+	// Per-status response counters.
+	responses *expvar.Map
+
+	ConnsOpen       expvar.Int
+	ConnsTotal      expvar.Int
+	Inflight        expvar.Int
+	BusyRejected    expvar.Int
+	CoalescedWrites expvar.Int
+	BytesRead       expvar.Int
+	BytesWritten    expvar.Int
+
+	readLat  latencySampler
+	writeLat latencySampler
+}
+
+// newMetrics builds the metric tree; dirty reports the store's current
+// unredundant-stripe count.
+func newMetrics(dirty func() int64) *Metrics {
+	m := &Metrics{
+		vars:      new(expvar.Map).Init(),
+		requests:  new(expvar.Map).Init(),
+		responses: new(expvar.Map).Init(),
+	}
+	m.vars.Set("requests", m.requests)
+	m.vars.Set("responses", m.responses)
+	m.vars.Set("conns_open", &m.ConnsOpen)
+	m.vars.Set("conns_total", &m.ConnsTotal)
+	m.vars.Set("inflight", &m.Inflight)
+	m.vars.Set("busy_rejected", &m.BusyRejected)
+	m.vars.Set("coalesced_writes", &m.CoalescedWrites)
+	m.vars.Set("bytes_read", &m.BytesRead)
+	m.vars.Set("bytes_written", &m.BytesWritten)
+	m.vars.Set("read_latency_us", expvar.Func(m.readLat.percentiles))
+	m.vars.Set("write_latency_us", expvar.Func(m.writeLat.percentiles))
+	m.vars.Set("dirty_stripes", expvar.Func(func() any { return dirty() }))
+	return m
+}
+
+// request counts one received frame.
+func (m *Metrics) request(op Op, n int64) { m.requests.Add(op.String(), n) }
+
+// response counts one completed frame and samples its latency.
+func (m *Metrics) response(op Op, st Status, d time.Duration) {
+	m.responses.Add(st.String(), 1)
+	switch op {
+	case OpRead:
+		m.readLat.record(d)
+	case OpWrite:
+		m.writeLat.record(d)
+	}
+}
+
+// Requests returns the request counter for one op.
+func (m *Metrics) Requests(op Op) int64 {
+	if v, ok := m.requests.Get(op.String()).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// Responses returns the response counter for one status.
+func (m *Metrics) Responses(st Status) int64 {
+	if v, ok := m.responses.Get(st.String()).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// WriteLatencyP95 returns the sampled p95 write latency.
+func (m *Metrics) WriteLatencyP95() time.Duration { return m.writeLat.p95() }
+
+// Publish registers the metric tree in the process-global expvar
+// registry under name, making it visible on expvar.Handler
+// (/debug/vars). Publishing the same name twice panics (expvar
+// semantics), so daemons should call it once.
+func (m *Metrics) Publish(name string) { expvar.Publish(name, m.vars) }
+
+// Handler serves the metric tree as JSON.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, m.vars.String())
+	})
+}
+
+// String returns the metric tree as JSON (expvar.Var).
+func (m *Metrics) String() string { return m.vars.String() }
+
+// latencySampler keeps a fixed-size reservoir of recent request
+// latencies, enough for tail percentiles without unbounded memory.
+type latencySampler struct {
+	mu      sync.Mutex
+	ring    [1024]time.Duration
+	n       int // ring entries in use
+	next    int // ring write cursor
+	count   int64
+	totalUS int64
+}
+
+func (l *latencySampler) record(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.next] = d
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.count++
+	l.totalUS += d.Microseconds()
+	l.mu.Unlock()
+}
+
+// snapshot returns the retained samples, sorted ascending.
+func (l *latencySampler) snapshot() ([]time.Duration, int64, int64) {
+	l.mu.Lock()
+	out := make([]time.Duration, l.n)
+	copy(out, l.ring[:l.n])
+	count, total := l.count, l.totalUS
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, count, total
+}
+
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (l *latencySampler) p95() time.Duration {
+	s, _, _ := l.snapshot()
+	return pct(s, 0.95)
+}
+
+// percentiles is the expvar.Func payload: count, mean, and tail
+// latencies in microseconds.
+func (l *latencySampler) percentiles() any {
+	s, count, totalUS := l.snapshot()
+	out := map[string]int64{
+		"count": count,
+		"p50":   pct(s, 0.50).Microseconds(),
+		"p95":   pct(s, 0.95).Microseconds(),
+		"p99":   pct(s, 0.99).Microseconds(),
+	}
+	if count > 0 {
+		out["mean"] = totalUS / count
+	}
+	return out
+}

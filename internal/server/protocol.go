@@ -1,0 +1,311 @@
+// Package server exposes an AFRAID store as a concurrent network block
+// service: a length-prefixed binary protocol over TCP with request IDs
+// for out-of-order completion, a bounded worker pool dispatching into
+// the store's stripe-lock pool, write coalescing, per-request
+// deadlines, backpressure, graceful drain, and expvar metrics. The
+// matching Client speaks the same protocol.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Handshake: the client opens with Magic; the server answers with
+// Magic, the store capacity (u64), and the frame payload limit (u32).
+// Everything on the wire is big-endian.
+const Magic = "AFRDBLK1"
+
+// handshakeReplyLen is len(Magic) + capacity + maxPayload.
+const handshakeReplyLen = len(Magic) + 8 + 4
+
+// Op identifies a request operation.
+type Op uint8
+
+// Request operations.
+const (
+	// OpRead returns Length bytes starting at Off.
+	OpRead Op = 1
+	// OpWrite stores Data at Off. Adjacent pipelined writes may be
+	// coalesced server-side; each request ID is still acknowledged.
+	OpWrite Op = 2
+	// OpFlush makes the whole array redundant (parity point).
+	OpFlush Op = 3
+	// OpStat returns an encoded Stat snapshot.
+	OpStat Op = 4
+	// OpScrub makes the stripes covering [Off, Off+Length) redundant.
+	OpScrub Op = 5
+)
+
+func (o Op) valid() bool { return o >= OpRead && o <= OpScrub }
+
+// String returns the op mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpFlush:
+		return "FLUSH"
+	case OpStat:
+		return "STAT"
+	case OpScrub:
+		return "SCRUB"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Status is a response disposition.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK means the operation completed; READ/STAT carry data.
+	StatusOK Status = 0
+	// StatusBusy means the server's in-flight window is full; retry.
+	StatusBusy Status = 1
+	// StatusBadRequest means the frame was well-formed but the request
+	// invalid (range outside capacity, unknown op).
+	StatusBadRequest Status = 2
+	// StatusIO is a store or device error; the payload holds a message.
+	StatusIO Status = 3
+	// StatusDataLoss marks reads of bytes lost in the AFRAID exposure
+	// window (failed disk in an unredundant stripe).
+	StatusDataLoss Status = 4
+	// StatusTimeout means the per-request deadline expired.
+	StatusTimeout Status = 5
+	// StatusShutdown means the server is draining and rejected the
+	// request.
+	StatusShutdown Status = 6
+)
+
+// String returns the status mnemonic.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusBusy:
+		return "ERR_BUSY"
+	case StatusBadRequest:
+		return "ERR_BAD_REQUEST"
+	case StatusIO:
+		return "ERR_IO"
+	case StatusDataLoss:
+		return "ERR_DATA_LOSS"
+	case StatusTimeout:
+		return "ERR_TIMEOUT"
+	case StatusShutdown:
+		return "ERR_SHUTDOWN"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Frame layout. Both directions are a u32 body length followed by the
+// body; the length never includes its own four bytes.
+//
+//	request body:  op(1) id(8) off(8) length(4) data(length, WRITE only)
+//	response body: op(1) status(1) id(8) data(rest)
+const (
+	reqHeaderLen  = 1 + 8 + 8 + 4
+	respHeaderLen = 1 + 1 + 8
+)
+
+// DefaultMaxPayload bounds the data carried by one frame (WRITE data or
+// READ length). Larger client I/Os are split into multiple requests.
+const DefaultMaxPayload = 1 << 20
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge rejects a frame whose declared body exceeds the
+	// payload limit.
+	ErrFrameTooLarge = errors.New("server: frame exceeds payload limit")
+	// ErrTruncatedFrame rejects a body shorter than its fixed header or
+	// than its declared data length.
+	ErrTruncatedFrame = errors.New("server: truncated frame")
+	// ErrBadMagic rejects a handshake that is not an AFRAID block
+	// service.
+	ErrBadMagic = errors.New("server: bad protocol magic")
+)
+
+// Request is one client operation.
+type Request struct {
+	Op     Op
+	ID     uint64
+	Off    int64
+	Length uint32 // READ: bytes wanted; WRITE: len(Data); SCRUB: range length
+	Data   []byte // WRITE payload
+}
+
+// Response completes one request ID.
+type Response struct {
+	Op     Op
+	Status Status
+	ID     uint64
+	Data   []byte // READ data, STAT payload, or an error message
+}
+
+// AppendRequest appends the framed request (length prefix included) to
+// dst and returns the extended slice.
+func AppendRequest(dst []byte, r *Request) []byte {
+	body := reqHeaderLen + len(r.Data)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, byte(r.Op))
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Off))
+	dst = binary.BigEndian.AppendUint32(dst, r.Length)
+	return append(dst, r.Data...)
+}
+
+// DecodeRequest parses a request body (the bytes after the length
+// prefix). It rejects truncated bodies, oversized payloads, unknown
+// ops, offsets that overflow int64, and length/data mismatches. The
+// returned Data aliases body.
+func DecodeRequest(body []byte, maxPayload uint32) (Request, error) {
+	var r Request
+	if len(body) < reqHeaderLen {
+		return r, fmt.Errorf("%w: request body %d bytes, need %d", ErrTruncatedFrame, len(body), reqHeaderLen)
+	}
+	r.Op = Op(body[0])
+	r.ID = binary.BigEndian.Uint64(body[1:])
+	off := binary.BigEndian.Uint64(body[9:])
+	r.Length = binary.BigEndian.Uint32(body[17:])
+	data := body[reqHeaderLen:]
+	if !r.Op.valid() {
+		return r, fmt.Errorf("server: unknown op %d", uint8(r.Op))
+	}
+	if off > math.MaxInt64 {
+		return r, fmt.Errorf("server: offset %d overflows int64", off)
+	}
+	r.Off = int64(off)
+	// Length bounds an allocation for READ/WRITE; for SCRUB it is only
+	// a range length and may cover gigabytes.
+	if (r.Op == OpRead || r.Op == OpWrite) && r.Length > maxPayload {
+		return r, fmt.Errorf("%w: length %d > limit %d", ErrFrameTooLarge, r.Length, maxPayload)
+	}
+	if r.Op == OpWrite {
+		if uint32(len(data)) != r.Length {
+			return r, fmt.Errorf("%w: WRITE declares %d data bytes, carries %d", ErrTruncatedFrame, r.Length, len(data))
+		}
+		r.Data = data
+	} else if len(data) != 0 {
+		return r, fmt.Errorf("server: %v carries %d unexpected data bytes", r.Op, len(data))
+	}
+	return r, nil
+}
+
+// readFrame reads one length-prefixed body, applying the payload limit
+// before allocating.
+func readFrame(br *bufio.Reader, maxPayload uint32) ([]byte, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(br, pfx[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n > maxPayload+uint32(reqHeaderLen)+uint32(respHeaderLen) {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReadRequest reads and decodes one request frame.
+func ReadRequest(br *bufio.Reader, maxPayload uint32) (Request, error) {
+	body, err := readFrame(br, maxPayload)
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(body, maxPayload)
+}
+
+// AppendResponse appends the framed response (length prefix included)
+// to dst and returns the extended slice.
+func AppendResponse(dst []byte, r *Response) []byte {
+	body := respHeaderLen + len(r.Data)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, byte(r.Op), byte(r.Status))
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	return append(dst, r.Data...)
+}
+
+// DecodeResponse parses a response body (the bytes after the length
+// prefix). The returned Data aliases body.
+func DecodeResponse(body []byte, maxPayload uint32) (Response, error) {
+	var r Response
+	if len(body) < respHeaderLen {
+		return r, fmt.Errorf("%w: response body %d bytes, need %d", ErrTruncatedFrame, len(body), respHeaderLen)
+	}
+	r.Op = Op(body[0])
+	r.Status = Status(body[1])
+	r.ID = binary.BigEndian.Uint64(body[2:])
+	r.Data = body[respHeaderLen:]
+	return r, nil
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(br *bufio.Reader, maxPayload uint32) (Response, error) {
+	body, err := readFrame(br, maxPayload)
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(body, maxPayload)
+}
+
+// Stat is the STAT payload: a snapshot of the served store.
+type Stat struct {
+	Capacity        int64
+	Mode            uint8 // core.Mode
+	DirtyStripes    int64
+	Reads           uint64
+	Writes          uint64
+	BytesRead       int64
+	BytesWritten    int64
+	ScrubbedStripes uint64
+}
+
+const statPayloadLen = 1 + 1 + 7*8
+
+// appendStat encodes a Stat (version byte first).
+func appendStat(dst []byte, st *Stat) []byte {
+	dst = append(dst, 1, st.Mode)
+	for _, v := range [...]uint64{
+		uint64(st.Capacity), uint64(st.DirtyStripes), st.Reads, st.Writes,
+		uint64(st.BytesRead), uint64(st.BytesWritten), st.ScrubbedStripes,
+	} {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// decodeStat parses a STAT payload.
+func decodeStat(b []byte) (Stat, error) {
+	var st Stat
+	if len(b) != statPayloadLen {
+		return st, fmt.Errorf("%w: stat payload %d bytes, want %d", ErrTruncatedFrame, len(b), statPayloadLen)
+	}
+	if b[0] != 1 {
+		return st, fmt.Errorf("server: unknown stat version %d", b[0])
+	}
+	st.Mode = b[1]
+	u := func(i int) uint64 { return binary.BigEndian.Uint64(b[2+8*i:]) }
+	st.Capacity = int64(u(0))
+	st.DirtyStripes = int64(u(1))
+	st.Reads = u(2)
+	st.Writes = u(3)
+	st.BytesRead = int64(u(4))
+	st.BytesWritten = int64(u(5))
+	st.ScrubbedStripes = u(6)
+	return st, nil
+}

@@ -1,0 +1,356 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"afraid/internal/core"
+)
+
+// startServer brings up a server over a fresh AFRAID-mode mem-device
+// store on a loopback listener and returns its address.
+func startServer(t *testing.T, storeOpts core.Options, srvOpts Options) (*Server, *core.Store, string) {
+	t.Helper()
+	devs := make([]core.BlockDevice, 5)
+	for i := range devs {
+		devs[i] = core.NewMemDevice(4 << 20)
+	}
+	if storeOpts.StripeUnit == 0 {
+		storeOpts.StripeUnit = 8 << 10
+	}
+	st, err := core.Open(devs, &core.MemNVRAM{}, storeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, srvOpts)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-serveDone; err != nil && !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve: %v", err)
+		}
+		st.Close()
+	})
+	return srv, st, lis.Addr().String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv, _, addr := startServer(t, core.Options{Mode: core.Afraid, ScrubIdle: time.Hour}, Options{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if c.Capacity() == 0 {
+		t.Fatal("handshake reported zero capacity")
+	}
+	data := []byte("one disk I/O, not four")
+	if _, err := c.WriteAt(data, 4096); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := c.ReadAt(got, 4096); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+
+	ctx := context.Background()
+	st, err := c.Stat(ctx)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if st.ModeString() != "afraid" {
+		t.Fatalf("mode %q, want afraid", st.ModeString())
+	}
+	if st.DirtyStripes == 0 {
+		t.Fatal("write left no dirty stripes before flush")
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	st, err = c.Stat(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtyStripes != 0 {
+		t.Fatalf("dirty stripes after flush = %d", st.DirtyStripes)
+	}
+
+	// Scrub a specific range (trivially clean after the flush).
+	if err := c.Scrub(ctx, 0, 32<<10); err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	// Bad range → ERR_BAD_REQUEST, connection stays usable.
+	if _, err := c.ReadAt(make([]byte, 16), c.Capacity()); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("out-of-range read: got %v, want ErrBadRequest", err)
+	}
+	if _, err := c.ReadAt(got, 4096); err != nil {
+		t.Fatalf("ReadAt after rejected request: %v", err)
+	}
+	if n := srv.Metrics().Requests(OpRead); n == 0 {
+		t.Fatal("metrics recorded no READ requests")
+	}
+}
+
+func TestServerLargeTransfersChunk(t *testing.T) {
+	_, _, addr := startServer(t, core.Options{Mode: core.Afraid, ScrubIdle: time.Hour},
+		Options{MaxPayload: 8 << 10})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := make([]byte, 100<<10) // 12.5 chunks at the 8 KiB limit
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(data)
+	if _, err := c.WriteAt(data, 512); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := c.ReadAt(got, 512); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("chunked transfer corrupted data")
+	}
+}
+
+// TestServerConcurrency is the acceptance workload: ≥8 concurrent
+// clients over real TCP issuing mixed reads and writes against an
+// AFRAID-mode store with the scrubber live, then a graceful drain.
+// Every client verifies its own region, the store is checked after
+// drain, and the metrics must account for every frame.
+func TestServerConcurrency(t *testing.T) {
+	srv, st, addr := startServer(t,
+		core.Options{Mode: core.Afraid, ScrubIdle: 2 * time.Millisecond, DirtyThreshold: 16},
+		Options{MaxInflight: 1024, RequestTimeout: time.Minute})
+
+	const (
+		clients = 10
+		ops     = 120
+		ioSize  = 4 << 10
+	)
+	region := st.Capacity() / clients
+	var wantReads, wantWrites int64
+	var cmu sync.Mutex // guards wantReads/wantWrites
+	errs := make(chan error, clients)
+	final := make([][]byte, clients) // expected content of each region
+
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := int64(w) * region
+			mirror := make([]byte, region) // what the region must hold
+			buf := make([]byte, ioSize)
+			got := make([]byte, ioSize)
+			reads, writes := int64(0), int64(0)
+			for i := 0; i < ops; i++ {
+				off := rng.Int63n(region - ioSize)
+				if rng.Intn(3) == 0 { // 1/3 reads, 2/3 writes
+					if _, err := c.ReadAt(got, base+off); err != nil {
+						errs <- fmt.Errorf("client %d read: %w", w, err)
+						return
+					}
+					if !bytes.Equal(got, mirror[off:off+ioSize]) {
+						errs <- fmt.Errorf("client %d: read at %d disagrees with model", w, off)
+						return
+					}
+					reads++
+				} else {
+					rng.Read(buf)
+					if _, err := c.WriteAt(buf, base+off); err != nil {
+						errs <- fmt.Errorf("client %d write: %w", w, err)
+						return
+					}
+					copy(mirror[off:], buf)
+					writes++
+				}
+			}
+			final[w] = mirror
+			cmu.Lock()
+			wantReads += reads
+			wantWrites += writes
+			cmu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Metrics on the endpoint must match what the clients issued.
+	m := srv.Metrics()
+	if got := m.Requests(OpRead); got != wantReads {
+		t.Fatalf("metrics READ requests = %d, clients issued %d", got, wantReads)
+	}
+	if got := m.Requests(OpWrite); got != wantWrites {
+		t.Fatalf("metrics WRITE requests = %d, clients issued %d", got, wantWrites)
+	}
+	if got := m.Responses(StatusOK); got != wantReads+wantWrites {
+		t.Fatalf("metrics OK responses = %d, want %d", got, wantReads+wantWrites)
+	}
+	if busy := m.BusyRejected.Value(); busy != 0 {
+		t.Fatalf("unexpected ERR_BUSY rejections: %d", busy)
+	}
+	// The metrics endpoint itself must serve parseable JSON with the
+	// same counters.
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics endpoint JSON: %v\n%s", err, rec.Body.String())
+	}
+	reqs, ok := doc["requests"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics endpoint missing requests map: %s", rec.Body.String())
+	}
+	if int64(reqs["READ"].(float64)) != wantReads {
+		t.Fatalf("endpoint READ count %v, want %d", reqs["READ"], wantReads)
+	}
+	if _, ok := doc["dirty_stripes"]; !ok {
+		t.Fatal("metrics endpoint missing dirty_stripes")
+	}
+
+	// Graceful drain, then verify every region directly on the store.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, region)
+	for w := 0; w < clients; w++ {
+		if _, err := st.ReadAt(got, int64(w)*region); err != nil {
+			t.Fatalf("post-drain read region %d: %v", w, err)
+		}
+		if !bytes.Equal(got, final[w]) {
+			t.Fatalf("post-drain: region %d differs from client %d's model", w, w)
+		}
+	}
+	if bad, err := st.CheckParity(); err != nil || len(bad) != 0 {
+		t.Fatalf("post-drain parity check: bad=%v err=%v", bad, err)
+	}
+}
+
+// rawConn speaks the wire protocol directly (no Client) for tests that
+// need precise control over framing.
+type rawConn struct {
+	nc net.Conn
+	br *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write([]byte(Magic)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	reply := make([]byte, handshakeReplyLen)
+	if _, err := io.ReadFull(br, reply); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &rawConn{nc: nc, br: br}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	srv, st, addr := startServer(t, core.Options{Mode: core.Afraid, ScrubIdle: time.Hour, DisableScrubber: true},
+		Options{MaxInflight: 64})
+
+	// Pipeline batches of adjacent 4 KiB writes in a single TCP send so
+	// they land in the connection buffer together. Loopback delivery
+	// isn't atomic, so allow a few attempts before requiring that the
+	// server saw at least one merge.
+	const batch = 4
+	const ioSize = 4 << 10
+	raw := dialRaw(t, addr)
+	want := make([]byte, batch*ioSize)
+	deadline := time.Now().Add(10 * time.Second)
+	attempt := 0
+	for srv.Metrics().CoalescedWrites.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no write coalescing observed across attempts")
+		}
+		attempt++
+		var frames []byte
+		base := int64(attempt%7) * int64(batch*ioSize)
+		for i := 0; i < batch; i++ {
+			chunk := want[i*ioSize : (i+1)*ioSize]
+			for j := range chunk {
+				chunk[j] = byte(attempt + i + j)
+			}
+			frames = AppendRequest(frames, &Request{
+				Op: OpWrite, ID: uint64(attempt*100 + i),
+				Off: base + int64(i*ioSize), Length: ioSize, Data: chunk,
+			})
+		}
+		if _, err := raw.nc.Write(frames); err != nil {
+			t.Fatal(err)
+		}
+		// Every frame must be acknowledged individually, coalesced or not.
+		seen := map[uint64]bool{}
+		for i := 0; i < batch; i++ {
+			resp, err := ReadResponse(raw.br, DefaultMaxPayload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Status != StatusOK {
+				t.Fatalf("write %d: %v %s", resp.ID, resp.Status, resp.Data)
+			}
+			seen[resp.ID] = true
+		}
+		if len(seen) != batch {
+			t.Fatalf("got %d distinct acks, want %d", len(seen), batch)
+		}
+		got := make([]byte, batch*ioSize)
+		if _, err := st.ReadAt(got, base); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("coalesced writes corrupted data")
+		}
+	}
+	// The merged frames must outnumber the store-level write calls.
+	merged := srv.Metrics().CoalescedWrites.Value()
+	if calls := int64(st.Stats().Writes); calls+merged != srv.Metrics().Requests(OpWrite) {
+		t.Fatalf("store writes (%d) + merged frames (%d) != WRITE requests (%d)",
+			calls, merged, srv.Metrics().Requests(OpWrite))
+	}
+}
