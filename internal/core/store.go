@@ -346,7 +346,7 @@ func (s *Store) SetStripePolicy(off, length int64, p StripePolicy) error {
 	if off%sb != 0 || length%sb != 0 {
 		return fmt.Errorf("core: policy range [%d,%d) not stripe-aligned (stripe data bytes %d)", off, off+length, sb)
 	}
-	if off < 0 || off+length > s.geo.Capacity() {
+	if off < 0 || length < 0 || length > s.geo.Capacity() || off > s.geo.Capacity()-length {
 		return fmt.Errorf("core: policy range outside capacity")
 	}
 	if s.opts.Mode == Raid0 && p != PolicyNeverRedundant && p != PolicyDefault {
@@ -691,8 +691,10 @@ func (s *Store) checkRange(off, length int64) error {
 	if closed {
 		return ErrClosed
 	}
-	if length < 0 || off < 0 || off+length > s.geo.Capacity() {
-		return fmt.Errorf("core: range [%d,%d) outside capacity %d", off, off+length, s.geo.Capacity())
+	// Compare without computing off+length, which overflows for off
+	// near MaxInt64 and would wrap past the capacity check.
+	if length < 0 || off < 0 || length > s.geo.Capacity() || off > s.geo.Capacity()-length {
+		return fmt.Errorf("core: range off=%d length=%d outside capacity %d", off, length, s.geo.Capacity())
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -269,6 +270,15 @@ func TestBoundsAndClosedErrors(t *testing.T) {
 	}
 	if _, err := s.WriteAt(buf, -1); err == nil {
 		t.Fatal("negative offset accepted")
+	}
+	// Offsets near MaxInt64 must be rejected, not wrapped by off+length
+	// overflow into a range that passes the capacity check (and then
+	// panics in layout.Split).
+	if _, err := s.ReadAt(buf, math.MaxInt64-5); err == nil {
+		t.Fatal("overflowing read range accepted")
+	}
+	if _, err := s.WriteAt(buf, math.MaxInt64-5); err == nil {
+		t.Fatal("overflowing write range accepted")
 	}
 	s.Close()
 	if _, err := s.ReadAt(buf, 0); !errors.Is(err, ErrClosed) {

@@ -136,14 +136,16 @@ func (c *Client) fail(err error) {
 	close(c.done)
 }
 
-// do sends one request and waits for its completion.
-func (c *Client) do(ctx context.Context, req *Request) (Response, error) {
+// start registers a fresh request ID, sends the frame, and returns the
+// channel the read loop will complete it on. Callers pipeline by
+// starting several requests before waiting on any.
+func (c *Client) start(req *Request) (uint64, chan Response, error) {
 	ch := make(chan Response, 1)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return Response{}, err
+		return 0, nil, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -157,8 +159,13 @@ func (c *Client) do(ctx context.Context, req *Request) (Response, error) {
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)
-		return Response{}, fmt.Errorf("server: send: %w", err)
+		return 0, nil, fmt.Errorf("server: send: %w", err)
 	}
+	return id, ch, nil
+}
+
+// wait blocks for the completion of a started request.
+func (c *Client) wait(ctx context.Context, id uint64, ch chan Response) (Response, error) {
 	select {
 	case resp := <-ch:
 		return resp, statusErr(resp)
@@ -171,6 +178,15 @@ func (c *Client) do(ctx context.Context, req *Request) (Response, error) {
 		c.mu.Unlock()
 		return Response{}, err
 	}
+}
+
+// do sends one request and waits for its completion.
+func (c *Client) do(ctx context.Context, req *Request) (Response, error) {
+	id, ch, err := c.start(req)
+	if err != nil {
+		return Response{}, err
+	}
+	return c.wait(ctx, id, ch)
 }
 
 func (c *Client) forget(id uint64) {
@@ -204,24 +220,58 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	return c.ReadAtContext(context.Background(), p, off)
 }
 
+// pipelineWindow bounds the chunk requests a split I/O keeps in flight
+// at once — enough to hide the round trip, and well under the server's
+// default 256-request window so a single transfer doesn't trip
+// ERR_BUSY.
+const pipelineWindow = 16
+
+// chunkCall is one in-flight chunk of a split I/O.
+type chunkCall struct {
+	off  int // chunk start within p
+	size int
+	id   uint64
+	ch   chan Response
+}
+
 // ReadAtContext reads len(p) bytes at off, splitting requests larger
-// than the server's payload limit into pipelined chunks.
+// than the server's payload limit into chunks pipelined onto the
+// connection (up to pipelineWindow outstanding at once). Completions
+// are collected in issue order, so the returned count is always the
+// contiguous prefix of p that was filled.
 func (c *Client) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
-	n := 0
-	for n < len(p) {
-		chunk := len(p) - n
-		if chunk > int(c.maxPayload) {
-			chunk = int(c.maxPayload)
+	var inflight []chunkCall
+	defer func() {
+		for _, cc := range inflight {
+			c.forget(cc.id)
 		}
-		resp, err := c.do(ctx, &Request{Op: OpRead, Off: off + int64(n), Length: uint32(chunk)})
+	}()
+	n, sent := 0, 0
+	for sent < len(p) || len(inflight) > 0 {
+		if sent < len(p) && len(inflight) < pipelineWindow {
+			chunk := len(p) - sent
+			if chunk > int(c.maxPayload) {
+				chunk = int(c.maxPayload)
+			}
+			id, ch, err := c.start(&Request{Op: OpRead, Off: off + int64(sent), Length: uint32(chunk)})
+			if err != nil {
+				return n, err
+			}
+			inflight = append(inflight, chunkCall{off: sent, size: chunk, id: id, ch: ch})
+			sent += chunk
+			continue
+		}
+		cc := inflight[0]
+		inflight = inflight[1:]
+		resp, err := c.wait(ctx, cc.id, cc.ch)
 		if err != nil {
 			return n, err
 		}
-		if len(resp.Data) != chunk {
-			return n, fmt.Errorf("server: READ returned %d bytes, want %d", len(resp.Data), chunk)
+		if len(resp.Data) != cc.size {
+			return n, fmt.Errorf("server: READ returned %d bytes, want %d", len(resp.Data), cc.size)
 		}
-		copy(p[n:], resp.Data)
-		n += chunk
+		copy(p[cc.off:], resp.Data)
+		n += cc.size
 	}
 	return n, nil
 }
@@ -232,19 +282,38 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 }
 
 // WriteAtContext writes p at off, splitting writes larger than the
-// server's payload limit into chunks (which the server may re-coalesce).
+// server's payload limit into chunks pipelined onto the connection (up
+// to pipelineWindow outstanding; the server may re-coalesce adjacent
+// ones). Completions are collected in issue order, so the returned
+// count is always the contiguous prefix of p that was written.
 func (c *Client) WriteAtContext(ctx context.Context, p []byte, off int64) (int, error) {
-	n := 0
-	for n < len(p) {
-		chunk := len(p) - n
-		if chunk > int(c.maxPayload) {
-			chunk = int(c.maxPayload)
+	var inflight []chunkCall
+	defer func() {
+		for _, cc := range inflight {
+			c.forget(cc.id)
 		}
-		_, err := c.do(ctx, &Request{Op: OpWrite, Off: off + int64(n), Length: uint32(chunk), Data: p[n : n+chunk]})
-		if err != nil {
+	}()
+	n, sent := 0, 0
+	for sent < len(p) || len(inflight) > 0 {
+		if sent < len(p) && len(inflight) < pipelineWindow {
+			chunk := len(p) - sent
+			if chunk > int(c.maxPayload) {
+				chunk = int(c.maxPayload)
+			}
+			id, ch, err := c.start(&Request{Op: OpWrite, Off: off + int64(sent), Length: uint32(chunk), Data: p[sent : sent+chunk]})
+			if err != nil {
+				return n, err
+			}
+			inflight = append(inflight, chunkCall{off: sent, size: chunk, id: id, ch: ch})
+			sent += chunk
+			continue
+		}
+		cc := inflight[0]
+		inflight = inflight[1:]
+		if _, err := c.wait(ctx, cc.id, cc.ch); err != nil {
 			return n, err
 		}
-		n += chunk
+		n += cc.size
 	}
 	return n, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"net"
 	"sync/atomic"
 	"testing"
@@ -206,6 +207,68 @@ func TestHardShutdownCancelsStoreWork(t *testing.T) {
 	// see the shutdown status or the dropped connection).
 	if err := <-writeDone; err == nil {
 		t.Fatal("write succeeded through a hard shutdown")
+	}
+}
+
+// TestStalledReaderDisconnected pipelines reads on a connection that
+// never reads its responses. The response queue and socket buffers
+// fill, the writer's deadline expires, and the server must drop that
+// connection — releasing the workers parked in send — rather than let
+// one stalled client wedge the shared pool for everyone else.
+func TestStalledReaderDisconnected(t *testing.T) {
+	_, _, addr := startServer(t, core.Options{Mode: core.Afraid, ScrubIdle: time.Hour},
+		Options{Workers: 4, MaxInflight: 512, WriteTimeout: 200 * time.Millisecond})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte(Magic)); err != nil {
+		t.Fatal(err)
+	}
+	reply := make([]byte, handshakeReplyLen)
+	if _, err := io.ReadFull(nc, reply); err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline far more response bytes (128 × 256 KiB) than the write
+	// buffers can absorb, then read nothing.
+	var buf []byte
+	for i := 0; i < 128; i++ {
+		buf = AppendRequest(buf[:0], &Request{Op: OpRead, ID: uint64(i + 1), Length: 256 << 10})
+		if _, err := nc.Write(buf); err != nil {
+			break // the server may already have cut us off
+		}
+	}
+
+	// The pool must come back: a healthy client completes a round trip
+	// well before the 10s deadline.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	data := []byte("pool still alive")
+	if _, err := c.WriteAtContext(ctx, data, 0); err != nil {
+		t.Fatalf("write while another conn is stalled: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := c.ReadAtContext(ctx, got, 0); err != nil {
+		t.Fatalf("read while another conn is stalled: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+
+	// And the stalled connection really was severed: draining it hits
+	// EOF/reset, not the read deadline.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err = io.Copy(io.Discard, nc)
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		t.Fatal("stalled connection was never closed by the server")
 	}
 }
 

@@ -42,6 +42,12 @@ type Options struct {
 	// RequestTimeout is the per-request deadline (default 30s); it
 	// cancels store work mid-request via context.
 	RequestTimeout time.Duration
+	// WriteTimeout bounds each socket write of response frames
+	// (default 30s). A client that pipelines requests but stops
+	// reading responses would otherwise block the connection's writer,
+	// fill its response queue, and wedge pool workers in send; on
+	// expiry the connection is closed instead.
+	WriteTimeout time.Duration
 	// CoalesceLimit caps the bytes merged from adjacent pipelined
 	// WRITEs into one store call (default 256 KiB; negative disables).
 	// Only frames already buffered on the connection are merged, so
@@ -66,6 +72,9 @@ func (o *Options) fill() {
 	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
 	}
 	if o.CoalesceLimit == 0 {
 		o.CoalesceLimit = 256 << 10
@@ -291,13 +300,20 @@ func (s *Server) execute(t *task) {
 	t.c.pending.Done()
 }
 
+// rangeOK reports whether [off, off+length) lies within capacity,
+// without computing off+length (which overflows for off near MaxInt64
+// — DecodeRequest admits any offset up to MaxInt64).
+func rangeOK(off, length, capacity int64) bool {
+	return off >= 0 && length >= 0 && length <= capacity && off <= capacity-length
+}
+
 // apply performs one request against the store.
 func (s *Server) apply(ctx context.Context, r *Request) Response {
 	resp := Response{Op: r.Op, Status: StatusOK}
 	cap := s.store.Capacity()
 	switch r.Op {
 	case OpRead:
-		if r.Off+int64(r.Length) > cap {
+		if !rangeOK(r.Off, int64(r.Length), cap) {
 			return s.reject(resp, cap, r)
 		}
 		buf := make([]byte, r.Length)
@@ -307,7 +323,7 @@ func (s *Server) apply(ctx context.Context, r *Request) Response {
 		resp.Data = buf
 		s.metrics.BytesRead.Add(int64(r.Length))
 	case OpWrite:
-		if r.Off+int64(len(r.Data)) > cap {
+		if !rangeOK(r.Off, int64(len(r.Data)), cap) {
 			return s.reject(resp, cap, r)
 		}
 		if _, err := s.store.WriteContext(ctx, r.Data, r.Off); err != nil {
@@ -319,7 +335,7 @@ func (s *Server) apply(ctx context.Context, r *Request) Response {
 			return s.fail(resp, err)
 		}
 	case OpScrub:
-		if r.Off+int64(r.Length) > cap {
+		if !rangeOK(r.Off, int64(r.Length), cap) {
 			return s.reject(resp, cap, r)
 		}
 		if err := s.store.ParityPointContext(ctx, r.Off, int64(r.Length)); err != nil {
@@ -346,7 +362,7 @@ func (s *Server) apply(ctx context.Context, r *Request) Response {
 
 func (s *Server) reject(resp Response, cap int64, r *Request) Response {
 	resp.Status = StatusBadRequest
-	resp.Data = []byte(fmt.Sprintf("range [%d,%d) outside capacity %d", r.Off, r.Off+int64(r.Length), cap))
+	resp.Data = []byte(fmt.Sprintf("range off=%d length=%d outside capacity %d", r.Off, r.Length, cap))
 	return resp
 }
 
@@ -424,8 +440,22 @@ func (c *conn) handshake() error {
 	reply = append(reply, Magic...)
 	reply = appendUint64(reply, uint64(c.srv.store.Capacity()))
 	reply = appendUint32(reply, c.srv.opts.MaxPayload)
-	_, err := c.nc.Write(reply)
+	_, err := deadlineWriter{c.nc, c.srv.opts.WriteTimeout}.Write(reply)
 	return err
+}
+
+// deadlineWriter arms a fresh write deadline before every socket write
+// so a stalled client bounds the writer at WriteTimeout instead of
+// blocking it (and, through the full response queue, the shared worker
+// pool) forever.
+type deadlineWriter struct {
+	nc      net.Conn
+	timeout time.Duration
+}
+
+func (w deadlineWriter) Write(p []byte) (int, error) {
+	w.nc.SetWriteDeadline(time.Now().Add(w.timeout))
+	return w.nc.Write(p)
 }
 
 // readLoop reads frames, applies backpressure, coalesces adjacent
@@ -503,9 +533,12 @@ func (c *conn) coalesce(t *task) {
 }
 
 // writeLoop streams responses, flushing whenever the queue goes empty.
+// Every socket write carries a deadline: if the client stops reading,
+// the write times out and the connection is torn down rather than
+// blocking workers behind the full response queue.
 func (c *conn) writeLoop() {
 	defer close(c.done)
-	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	bw := bufio.NewWriterSize(deadlineWriter{c.nc, c.srv.opts.WriteTimeout}, 64<<10)
 	var buf []byte
 	for resp := range c.out {
 		for {

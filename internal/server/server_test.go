@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http/httptest"
@@ -108,6 +109,49 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	if n := srv.Metrics().Requests(OpRead); n == 0 {
 		t.Fatal("metrics recorded no READ requests")
+	}
+}
+
+// TestOverflowingOffsetsRejected covers offsets near MaxInt64 (which
+// DecodeRequest admits): a naive off+length capacity check wraps
+// negative, passes, and panics in layout.Split inside a worker. Every
+// ranged op must answer ERR_BAD_REQUEST and the connection must stay
+// usable.
+func TestOverflowingOffsetsRejected(t *testing.T) {
+	_, _, addr := startServer(t, core.Options{Mode: core.Afraid, ScrubIdle: time.Hour}, Options{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	huge := int64(math.MaxInt64 - 100)
+	if _, err := c.do(ctx, &Request{Op: OpRead, Off: huge, Length: 4096}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("READ at %d: got %v, want ErrBadRequest", huge, err)
+	}
+	if _, err := c.do(ctx, &Request{Op: OpWrite, Off: huge, Length: 4, Data: []byte("boom")}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("WRITE at %d: got %v, want ErrBadRequest", huge, err)
+	}
+	if err := c.Scrub(ctx, huge, 4096); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("SCRUB at %d: got %v, want ErrBadRequest", huge, err)
+	}
+	// A length exceeding capacity on its own must bounce too (SCRUB
+	// lengths are not bounded by the payload limit).
+	if err := c.Scrub(ctx, 0, int64(^uint32(0))); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("SCRUB longer than capacity: got %v, want ErrBadRequest", err)
+	}
+	// The worker pool survived: a normal round trip still works.
+	data := []byte("still serving")
+	if _, err := c.WriteAt(data, 0); err != nil {
+		t.Fatalf("WriteAt after rejected requests: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := c.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after rejected requests: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
 	}
 }
 
