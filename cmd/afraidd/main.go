@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"afraid/internal/core"
+	"afraid/internal/obs"
 	"afraid/internal/server"
 )
 
@@ -94,8 +96,22 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.Metrics().Handler())
 		mux.Handle("/debug/vars", expvar.Handler())
+		// Latency histograms and op traces from both layers: the
+		// server's per-op and queue/service split, and the store's
+		// per-phase (stripe-lock wait, device I/O, parity, scrub).
+		sections := []obs.Section{
+			{Name: "server", Reg: srv.Metrics().Obs()},
+			{Name: "core", Reg: st.Obs()},
+		}
+		mux.Handle("/debug/histograms", obs.HistogramHandler(sections...))
+		mux.Handle("/debug/trace", obs.TraceHandler(sections...))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("metrics: http://%s/metrics", *metricsAddr)
+			log.Printf("metrics: http://%s/metrics (histograms at /debug/histograms, pprof at /debug/pprof/)", *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("metrics endpoint: %v", err)
 			}

@@ -89,6 +89,10 @@ func main() {
 	}
 	fmt.Printf("STAT: mode=%s writes=%d dirty-stripes=%d (parity deferred, data already durable)\n",
 		st.ModeString(), st.Writes, st.DirtyStripes)
+	// STAT v2 carries the server's latency percentiles over the wire —
+	// the paper's response-time metric, live instead of simulated.
+	fmt.Printf("STAT: write latency p50=%v p95=%v p99=%v\n",
+		st.WriteP50.Round(time.Microsecond), st.WriteP95.Round(time.Microsecond), st.WriteP99.Round(time.Microsecond))
 
 	// FLUSH is the whole-array parity point.
 	if err := c.Flush(context.Background()); err != nil {

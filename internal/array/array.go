@@ -225,6 +225,7 @@ type Array struct {
 
 	// AFRAID background state
 	idleTimer  *sim.Timer
+	idleGen    uint64 // invalidates stale idle-timer callbacks (see idleFired)
 	rebuilding bool
 	forced     bool
 	fgArrived  bool

@@ -28,12 +28,21 @@ func (a *Array) maybeArmIdleTimer() {
 	if at < now {
 		at = now
 	}
-	a.idleTimer = a.eng.At(at, a.idleFired)
+	// Stop cannot cancel an event the engine has already popped for
+	// execution (the timer-cancel contract), so a stale callback may
+	// still run after this re-arm. Hand the callback the current
+	// generation; idleFired ignores fires from superseded arms.
+	a.idleGen++
+	gen := a.idleGen
+	a.idleTimer = a.eng.At(at, func() { a.idleFired(gen) })
 }
 
 // idleFired begins a background parity-rebuild episode if the array is
-// still quiescent.
-func (a *Array) idleFired() {
+// still quiescent and the fire is from the most recent arm.
+func (a *Array) idleFired(gen uint64) {
+	if gen != a.idleGen {
+		return // stale fire from a superseded arm
+	}
 	a.idleTimer = nil
 	if a.rebuilding || a.marks.Count() == 0 {
 		return

@@ -52,6 +52,7 @@ func (a *Array) start(r *request) {
 	if a.idleTimer != nil {
 		a.idleTimer.Stop()
 		a.idleTimer = nil
+		a.idleGen++ // invalidate a callback Stop could no longer cancel
 	}
 	a.updateConservative()
 	a.updateMTTDLPolicy()

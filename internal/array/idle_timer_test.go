@@ -1,0 +1,69 @@
+package array
+
+import (
+	"testing"
+
+	"afraid/internal/sim"
+)
+
+// TestStaleIdleFireIsIgnored is the regression test for the stale
+// idle-timer race: sim.Timer.Stop cannot cancel an event the engine has
+// already popped for execution, so after a stop/re-arm the superseded
+// callback may still run. idleFired is generation-checked; a fire
+// carrying an old generation must not start an episode.
+func TestStaleIdleFireIsIgnored(t *testing.T) {
+	eng := sim.NewEngine()
+	a, err := New(eng, DefaultConfig(AFRAID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.markDirty(0)
+	a.maybeArmIdleTimer()
+	if a.idleTimer == nil {
+		t.Fatal("idle timer not armed with dirty stripes outstanding")
+	}
+	stale := a.idleGen
+
+	// Re-arming supersedes the first callback and must hand out a new
+	// generation.
+	a.maybeArmIdleTimer()
+	if a.idleGen == stale {
+		t.Fatal("re-arm did not bump the idle generation")
+	}
+
+	// The stale callback firing anyway (Stop raced an already-popped
+	// event) must be a no-op.
+	a.idleFired(stale)
+	if a.rebuilding || a.episodes != 0 {
+		t.Fatalf("stale idle fire started an episode (rebuilding=%v episodes=%d)", a.rebuilding, a.episodes)
+	}
+
+	// The current-generation fire still works.
+	a.idleFired(a.idleGen)
+	if !a.rebuilding || a.episodes != 1 {
+		t.Fatalf("current idle fire did not start an episode (rebuilding=%v episodes=%d)", a.rebuilding, a.episodes)
+	}
+}
+
+// TestForegroundStopInvalidatesIdleFire covers the other stop site: a
+// foreground arrival stops the idle timer, and a callback that had
+// already been popped must not start an episode behind it.
+func TestForegroundStopInvalidatesIdleFire(t *testing.T) {
+	eng := sim.NewEngine()
+	a, err := New(eng, DefaultConfig(AFRAID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.markDirty(0)
+	a.maybeArmIdleTimer()
+	stale := a.idleGen
+	// Emulate the foreground path's stop: timer stopped, generation
+	// bumped (see foreground.go).
+	a.idleTimer.Stop()
+	a.idleTimer = nil
+	a.idleGen++
+	a.idleFired(stale)
+	if a.rebuilding || a.episodes != 0 {
+		t.Fatalf("idle fire after foreground stop started an episode (rebuilding=%v episodes=%d)", a.rebuilding, a.episodes)
+	}
+}

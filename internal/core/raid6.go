@@ -207,12 +207,17 @@ func (s *Store) writeSpan6(p []byte, base int64, sp layout.StripeSpan) error {
 	}
 }
 
-// markStripe marks a stripe dirty and persists the map.
+// markStripe marks a stripe dirty, persists the map, and tracks the
+// dirty-count high-water mark (the widest the unredundancy window ever
+// got — the paper's exposure metric).
 func (s *Store) markStripe(stripe int64) error {
 	s.meta.Lock()
 	changed := s.marks.Mark(stripe)
 	var err error
 	if changed {
+		if c := s.marks.Count(); c > s.stats.DirtyHighWater {
+			s.stats.DirtyHighWater = c
+		}
 		err = s.persistMarks()
 	}
 	s.meta.Unlock()

@@ -117,6 +117,7 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 		s.dead2 = -1
 	}
 	s.stats.DamagedStripes += uint64(len(report.Lost))
+	s.stats.DamageBytes += report.Bytes()
 	err := s.persistMarks()
 	s.meta.Unlock()
 	return report, err

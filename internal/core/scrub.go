@@ -9,10 +9,17 @@ import (
 	"afraid/internal/parity"
 )
 
+// maxInlineScrub bounds how many stripes a single write is ever held
+// hostage rebuilding. The valve still applies back-pressure — a flood
+// of writers each pays for a few rebuilds — but one victim request can
+// no longer stall indefinitely while its peers keep re-dirtying
+// stripes; the remainder of the backlog is handed to scrubLoop.
+const maxInlineScrub = 4
+
 // kickScrub nudges the scrubber when the dirty-threshold policy demands
-// immediate rebuilding. The scrub loop polls anyway; this just shortens
-// the reaction time by doing a synchronous rebuild pass inline when the
-// backlog is far over threshold (a crude but effective pressure valve).
+// immediate rebuilding: it does a small, bounded synchronous rebuild
+// pass inline when the backlog is far over threshold, then wakes
+// scrubLoop to drain the rest in the background.
 func (s *Store) kickScrub() {
 	th := s.opts.DirtyThreshold
 	if th <= 0 {
@@ -24,25 +31,35 @@ func (s *Store) kickScrub() {
 	if !over {
 		return
 	}
-	// Rebuild down to the threshold in the caller's context, exactly
-	// like the paper's policy of starting parity updates under load.
-	for {
+	// Rebuild a bounded batch in the caller's context, like the paper's
+	// policy of starting parity updates under load.
+	for i := 0; i < maxInlineScrub; i++ {
 		s.meta.Lock()
 		n := s.marks.Count()
 		s.meta.Unlock()
 		if n <= int64(th) {
 			return
 		}
-		if built, _ := s.scrubOne(true); !built {
+		built, _ := s.scrubOne(true, nil)
+		if !built {
 			return
 		}
+		s.meta.Lock()
+		s.stats.InlineScrubs++
+		s.meta.Unlock()
+	}
+	// Still over threshold: hand the backlog to scrubLoop without
+	// blocking (the channel holds one pending kick; more add nothing).
+	select {
+	case s.kick <- struct{}{}:
+	default:
 	}
 }
 
 // scrubLoop is the background parity rebuilder: it waits for the store
-// to be idle for ScrubIdle (or for the dirty backlog to exceed the
-// threshold) and then rebuilds stripes one at a time, checking for
-// foreground preemption between stripes.
+// to be idle for ScrubIdle, for the dirty backlog to exceed the
+// threshold, or for a kick from the write-path pressure valve, then
+// runs a scrub episode.
 func (s *Store) scrubLoop() {
 	defer s.wg.Done()
 	poll := s.opts.ScrubIdle / 4
@@ -56,44 +73,77 @@ func (s *Store) scrubLoop() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
+		case <-s.kick:
 		}
-		for {
-			select {
-			case <-s.stop:
-				return
-			default:
-			}
-			s.meta.Lock()
-			dirty := s.marks.Count()
-			idleFor := time.Since(s.lastIO)
-			gen := s.scrubGen
-			s.meta.Unlock()
-			if dirty == 0 {
-				break
-			}
-			forced := s.opts.DirtyThreshold > 0 && dirty > int64(s.opts.DirtyThreshold)
-			if !forced && idleFor < s.opts.ScrubIdle {
-				break
-			}
-			built, err := s.scrubOne(forced)
-			if err != nil || !built {
-				break
-			}
-			// Preempt between stripes if foreground I/O arrived.
-			s.meta.Lock()
-			preempted := s.scrubGen != gen
-			s.meta.Unlock()
-			if preempted && !forced {
-				break
-			}
+		s.scrubPass()
+	}
+}
+
+// scrubPass runs one scrub episode: rebuild stripes until the backlog
+// is gone, the idle window closes, or foreground I/O preempts an idle
+// rebuild. Episode starts and lengths feed the scrub accounting.
+func (s *Store) scrubPass() {
+	var (
+		started time.Time
+		built   int
+	)
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
 		}
+		s.meta.Lock()
+		dirty := s.marks.Count()
+		idleFor := time.Since(s.lastIO)
+		gen := s.scrubGen
+		s.meta.Unlock()
+		if dirty == 0 {
+			break
+		}
+		forced := s.opts.DirtyThreshold > 0 && dirty > int64(s.opts.DirtyThreshold)
+		if !forced && idleFor < s.opts.ScrubIdle {
+			break
+		}
+		// An idle rebuild must not consume a mark freshened by a write
+		// landing after the sample above: scrubOne re-checks gen under
+		// the stripe lock. Forced rebuilds pass nil — they must make
+		// progress even under sustained writes, or the backlog (and
+		// Flush behind it) could be starved forever.
+		genp := &gen
+		if forced {
+			genp = nil
+		}
+		if built == 0 {
+			started = time.Now()
+			s.meta.Lock()
+			if forced {
+				s.stats.ForcedEpisodes++
+			} else {
+				s.stats.IdleEpisodes++
+			}
+			s.meta.Unlock()
+		}
+		ok, err := s.scrubOne(forced, genp)
+		if err != nil || !ok {
+			break
+		}
+		built++
+	}
+	if built > 0 {
+		s.ob.scrubEpisode.Observe(time.Since(started))
 	}
 }
 
 // scrubOne rebuilds the parity of one dirty stripe: read all data
 // units, xor, write parity, clear the mark. It reports whether a
-// stripe was rebuilt.
-func (s *Store) scrubOne(forced bool) (bool, error) {
+// stripe was rebuilt. When gen is non-nil (an idle-path rebuild), the
+// stripe is abandoned if foreground I/O has bumped the scrub
+// generation since the caller sampled *gen — otherwise a write landing
+// between the idle check and the rebuild would have its fresh mark
+// consumed as "idle" scrubbing, competing with the very I/O the idle
+// policy exists to yield to.
+func (s *Store) scrubOne(forced bool, gen *uint64) (bool, error) {
 	s.meta.Lock()
 	if s.dead >= 0 || s.dead2 >= 0 {
 		// Cannot rebuild parity with a missing disk; RepairDisk will.
@@ -106,11 +156,17 @@ func (s *Store) scrubOne(forced bool) (bool, error) {
 		return false, nil
 	}
 
+	start := time.Now()
 	lk := s.stripeLock(stripe)
 	lk.Lock()
 	defer lk.Unlock()
 
 	s.meta.Lock()
+	if gen != nil && s.scrubGen != *gen {
+		s.stats.ScrubPreempts++
+		s.meta.Unlock()
+		return false, nil
+	}
 	stillDirty := s.marks.IsMarked(stripe)
 	s.meta.Unlock()
 	if !stillDirty {
@@ -135,6 +191,7 @@ func (s *Store) scrubOne(forced bool) (bool, error) {
 	}
 	err := s.persistMarks()
 	s.meta.Unlock()
+	s.ob.scrubStripe.Observe(time.Since(start))
 	return true, err
 }
 
@@ -152,7 +209,9 @@ func (s *Store) rebuildParity(stripe int64) error {
 		}
 	}
 	par := make([]byte, unit)
+	pt := time.Now()
 	parity.Compute(par, units...)
+	s.observeParity(pt)
 	pDisk := s.geo.ParityDisk(stripe)
 	if _, err := s.devs[pDisk].WriteAt(par, off); err != nil {
 		return fmt.Errorf("core: scrub parity write: %w", err)
@@ -194,7 +253,9 @@ func (s *Store) FlushContext(ctx context.Context) error {
 		if dead >= 0 {
 			return fmt.Errorf("core: cannot flush with disk %d failed: %w", dead, ErrTooManyFailures)
 		}
-		if _, err := s.scrubOne(false); err != nil {
+		// gen is nil: Flush must drain regardless of foreground I/O, or
+		// concurrent writers could starve it forever.
+		if _, err := s.scrubOne(false, nil); err != nil {
 			return err
 		}
 	}

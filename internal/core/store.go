@@ -119,6 +119,13 @@ type Stats struct {
 	DamagedStripes          uint64
 	NVRAMRecovered          bool // full-array rebuild after bad NVRAM image
 	DirtyStripes            int64
+
+	IdleEpisodes   uint64 // scrub episodes begun on idle detection
+	ForcedEpisodes uint64 // scrub episodes begun over the dirty threshold
+	ScrubPreempts  uint64 // idle rebuilds abandoned to fresh foreground I/O
+	InlineScrubs   uint64 // stripes rebuilt inline by the write-path pressure valve
+	DirtyHighWater int64  // most stripes simultaneously unredundant
+	DamageBytes    int64  // bytes lost to disk failures in unprotected stripes
 }
 
 // Store is the functional AFRAID array.
@@ -140,6 +147,8 @@ type Store struct {
 
 	locks [64]sync.Mutex // stripe lock pool (stripe % 64)
 
+	ob   *storeObs
+	kick chan struct{} // pressure-valve handoff to scrubLoop (capacity 1)
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -192,6 +201,8 @@ func Open(devs []BlockDevice, nv NVRAM, opts Options) (*Store, error) {
 		dead:   -1,
 		dead2:  -1,
 		lastIO: time.Now(),
+		ob:     newStoreObs(),
+		kick:   make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 		policy: make([]StripePolicy, geo.Stripes()),
 	}
@@ -249,6 +260,7 @@ func (s *Store) recoverNVRAM() error {
 		s.marks.Mark(st)
 	}
 	s.stats.NVRAMRecovered = true
+	s.stats.DirtyHighWater = stripes
 	return s.persistMarks()
 }
 
@@ -383,13 +395,18 @@ func (s *Store) ReadContext(ctx context.Context, p []byte, off int64) (int, erro
 		return 0, nil
 	}
 	s.touch()
+	start := time.Now()
+	var lockWait, dev time.Duration
 	spans := s.geo.Split(off, int64(len(p)))
 	for _, sp := range spans {
 		if err := ctx.Err(); err != nil {
+			s.traceOp("READ", off, int64(len(p)), start, lockWait, dev, err)
 			return 0, err
 		}
 		lk := s.stripeLock(sp.Stripe)
+		t0 := time.Now()
 		lk.Lock()
+		t1 := time.Now()
 		var err error
 		if s.geo.Level == layout.RAID6 {
 			err = s.readSpan6(p, off, sp)
@@ -397,10 +414,17 @@ func (s *Store) ReadContext(ctx context.Context, p []byte, off int64) (int, erro
 			err = s.readSpan(p, off, sp)
 		}
 		lk.Unlock()
+		t2 := time.Now()
+		s.ob.lockWait.Observe(t1.Sub(t0))
+		s.ob.devRead.Observe(t2.Sub(t1))
+		lockWait += t1.Sub(t0)
+		dev += t2.Sub(t1)
 		if err != nil {
+			s.traceOp("READ", off, int64(len(p)), start, lockWait, dev, err)
 			return 0, err
 		}
 	}
+	s.traceOp("READ", off, int64(len(p)), start, lockWait, dev, nil)
 	s.meta.Lock()
 	s.stats.Reads++
 	s.stats.BytesRead += int64(len(p))
@@ -482,13 +506,18 @@ func (s *Store) WriteContext(ctx context.Context, p []byte, off int64) (int, err
 		return 0, nil
 	}
 	s.touch()
+	start := time.Now()
+	var lockWait, dev time.Duration
 	spans := s.geo.Split(off, int64(len(p)))
 	for _, sp := range spans {
 		if err := ctx.Err(); err != nil {
+			s.traceOp("WRITE", off, int64(len(p)), start, lockWait, dev, err)
 			return 0, err
 		}
 		lk := s.stripeLock(sp.Stripe)
+		t0 := time.Now()
 		lk.Lock()
+		t1 := time.Now()
 		var err error
 		if s.geo.Level == layout.RAID6 {
 			err = s.writeSpan6(p, off, sp)
@@ -496,7 +525,13 @@ func (s *Store) WriteContext(ctx context.Context, p []byte, off int64) (int, err
 			err = s.writeSpan(p, off, sp)
 		}
 		lk.Unlock()
+		t2 := time.Now()
+		s.ob.lockWait.Observe(t1.Sub(t0))
+		s.ob.devWrite.Observe(t2.Sub(t1))
+		lockWait += t1.Sub(t0)
+		dev += t2.Sub(t1)
 		if err != nil {
+			s.traceOp("WRITE", off, int64(len(p)), start, lockWait, dev, err)
 			return 0, err
 		}
 	}
@@ -505,6 +540,7 @@ func (s *Store) WriteContext(ctx context.Context, p []byte, off int64) (int, err
 	s.stats.BytesWritten += int64(len(p))
 	s.meta.Unlock()
 	s.kickScrub()
+	s.traceOp("WRITE", off, int64(len(p)), start, lockWait, dev, nil)
 	return len(p), nil
 }
 
@@ -529,14 +565,7 @@ func (s *Store) writeSpan(p []byte, base int64, sp layout.StripeSpan) error {
 	case PolicyAlwaysRedundant:
 		return s.writeSpanRaid5(p, base, sp)
 	default: // AFRAID
-		s.meta.Lock()
-		changed := s.marks.Mark(sp.Stripe)
-		var err error
-		if changed {
-			err = s.persistMarks()
-		}
-		s.meta.Unlock()
-		if err != nil {
+		if err := s.markStripe(sp.Stripe); err != nil {
 			return err
 		}
 		return s.writeSpanData(p, base, sp, -1)
@@ -574,7 +603,9 @@ func (s *Store) writeSpanRaid5(p []byte, base int64, sp layout.StripeSpan) error
 		if _, err := s.devs[pDisk].ReadAt(par, pOff); err != nil {
 			return fmt.Errorf("core: old parity read: %w", err)
 		}
+		pt := time.Now()
 		parity.Update(par, old, src)
+		s.observeParity(pt)
 		if _, err := s.devs[e.Disk].WriteAt(src, e.DiskOff); err != nil {
 			return fmt.Errorf("core: data write: %w", err)
 		}

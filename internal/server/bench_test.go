@@ -100,7 +100,8 @@ func benchmarkServerWrites(b *testing.B, mode core.Mode) {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	if len(all) > 0 {
-		b.ReportMetric(float64(pct(all, 0.95).Microseconds())/1e3, "p95-ms")
+		p95 := all[int(0.95*float64(len(all)-1))]
+		b.ReportMetric(float64(p95.Microseconds())/1e3, "p95-ms")
 	}
 	b.ReportMetric(float64(len(all))/elapsed.Seconds(), "ops/s")
 	b.SetBytes(ioSize)

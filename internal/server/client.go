@@ -334,9 +334,12 @@ func (c *Client) Scrub(ctx context.Context, off, length int64) error {
 	return err
 }
 
-// Stat returns the server's store snapshot.
+// Stat returns the server's store snapshot. The request's Length field
+// advertises the newest STAT payload version this client understands;
+// pre-versioning servers ignore it and answer version 1, leaving the
+// percentile fields zero.
 func (c *Client) Stat(ctx context.Context) (Stat, error) {
-	resp, err := c.do(ctx, &Request{Op: OpStat})
+	resp, err := c.do(ctx, &Request{Op: OpStat, Length: StatVersion})
 	if err != nil {
 		return Stat{}, err
 	}

@@ -4,15 +4,18 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
-	"sort"
-	"sync"
 	"time"
+
+	"afraid/internal/obs"
 )
 
-// Metrics counts server activity as expvar vars. The vars live in a
-// per-server expvar.Map rather than the process-global registry so
-// multiple servers (tests, benchmarks) don't collide; Publish exports
-// the map globally for /debug/vars, and Handler serves it directly.
+// Metrics counts server activity as expvar vars and records request
+// latencies in lock-free obs histograms. The vars live in a per-server
+// expvar.Map rather than the process-global registry so multiple
+// servers (tests, benchmarks) don't collide; Publish exports the map
+// globally for /debug/vars, and Handler serves it directly. The
+// histogram registry is mounted separately (obs.HistogramHandler) as
+// the "server" section of /debug/histograms.
 type Metrics struct {
 	vars *expvar.Map
 
@@ -30,8 +33,11 @@ type Metrics struct {
 	BytesRead       expvar.Int
 	BytesWritten    expvar.Int
 
-	readLat  latencySampler
-	writeLat latencySampler
+	reg       *obs.Registry
+	opLat     [OpScrub + 1]*obs.Histogram // end-to-end latency per op
+	queueWait *obs.Histogram              // dispatch -> worker pickup
+	service   *obs.Histogram              // worker pickup -> completion
+	trace     *obs.Ring
 }
 
 // newMetrics builds the metric tree; dirty reports the store's current
@@ -41,7 +47,14 @@ func newMetrics(dirty func() int64) *Metrics {
 		vars:      new(expvar.Map).Init(),
 		requests:  new(expvar.Map).Init(),
 		responses: new(expvar.Map).Init(),
+		reg:       obs.NewRegistry(),
 	}
+	for op := OpRead; op <= OpScrub; op++ {
+		m.opLat[op] = m.reg.Histogram(op.String())
+	}
+	m.queueWait = m.reg.Histogram("queue_wait")
+	m.service = m.reg.Histogram("service_time")
+	m.trace = m.reg.Ring("requests", 1024)
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("responses", m.responses)
 	m.vars.Set("conns_open", &m.ConnsOpen)
@@ -51,8 +64,9 @@ func newMetrics(dirty func() int64) *Metrics {
 	m.vars.Set("coalesced_writes", &m.CoalescedWrites)
 	m.vars.Set("bytes_read", &m.BytesRead)
 	m.vars.Set("bytes_written", &m.BytesWritten)
-	m.vars.Set("read_latency_us", expvar.Func(m.readLat.percentiles))
-	m.vars.Set("write_latency_us", expvar.Func(m.writeLat.percentiles))
+	m.vars.Set("read_latency_us", expvar.Func(func() any { return m.opLat[OpRead].Summary() }))
+	m.vars.Set("write_latency_us", expvar.Func(func() any { return m.opLat[OpWrite].Summary() }))
+	m.vars.Set("queue_wait_us", expvar.Func(func() any { return m.queueWait.Summary() }))
 	m.vars.Set("dirty_stripes", expvar.Func(func() any { return dirty() }))
 	return m
 }
@@ -60,15 +74,57 @@ func newMetrics(dirty func() int64) *Metrics {
 // request counts one received frame.
 func (m *Metrics) request(op Op, n int64) { m.requests.Add(op.String(), n) }
 
-// response counts one completed frame and samples its latency.
+// response counts one completed frame and records its end-to-end
+// latency.
 func (m *Metrics) response(op Op, st Status, d time.Duration) {
 	m.responses.Add(st.String(), 1)
-	switch op {
-	case OpRead:
-		m.readLat.record(d)
-	case OpWrite:
-		m.writeLat.record(d)
+	if h := m.hist(op); h != nil {
+		h.Observe(d)
 	}
+}
+
+// task records timing for one executed store call (which may have
+// completed several coalesced frames): the queue-wait/service-time
+// split and a trace-ring event.
+func (m *Metrics) task(r *Request, st Status, queued, total time.Duration) {
+	m.queueWait.Observe(queued)
+	m.service.Observe(total - queued)
+	n := int64(r.Length)
+	if r.Op == OpWrite {
+		n = int64(len(r.Data))
+	}
+	ev := obs.Event{
+		Op:    r.Op.String(),
+		Off:   r.Off,
+		Len:   n,
+		Start: time.Now().Add(-total),
+		Queue: queued,
+		Total: total,
+	}
+	if st != StatusOK {
+		ev.Err = st.String()
+	}
+	m.trace.Record(ev)
+}
+
+// hist returns the latency histogram for one op, nil for unknown ops.
+func (m *Metrics) hist(op Op) *obs.Histogram {
+	if op.valid() {
+		return m.opLat[op]
+	}
+	return nil
+}
+
+// Obs returns the server's histogram/trace registry for mounting on a
+// debug endpoint.
+func (m *Metrics) Obs() *obs.Registry { return m.reg }
+
+// OpLatency snapshots the end-to-end latency histogram for one op.
+func (m *Metrics) OpLatency(op Op) obs.Snapshot {
+	if h := m.hist(op); h != nil {
+		return h.Snapshot()
+	}
+	return obs.Snapshot{}
 }
 
 // Requests returns the request counter for one op.
@@ -87,8 +143,11 @@ func (m *Metrics) Responses(st Status) int64 {
 	return 0
 }
 
-// WriteLatencyP95 returns the sampled p95 write latency.
-func (m *Metrics) WriteLatencyP95() time.Duration { return m.writeLat.p95() }
+// WriteLatencyP95 returns the p95 end-to-end WRITE latency.
+func (m *Metrics) WriteLatencyP95() time.Duration {
+	s := m.opLat[OpWrite].Snapshot()
+	return s.Quantile(0.95)
+}
 
 // Publish registers the metric tree in the process-global expvar
 // registry under name, making it visible on expvar.Handler
@@ -106,66 +165,3 @@ func (m *Metrics) Handler() http.Handler {
 
 // String returns the metric tree as JSON (expvar.Var).
 func (m *Metrics) String() string { return m.vars.String() }
-
-// latencySampler keeps a fixed-size reservoir of recent request
-// latencies, enough for tail percentiles without unbounded memory.
-type latencySampler struct {
-	mu      sync.Mutex
-	ring    [1024]time.Duration
-	n       int // ring entries in use
-	next    int // ring write cursor
-	count   int64
-	totalUS int64
-}
-
-func (l *latencySampler) record(d time.Duration) {
-	l.mu.Lock()
-	l.ring[l.next] = d
-	l.next = (l.next + 1) % len(l.ring)
-	if l.n < len(l.ring) {
-		l.n++
-	}
-	l.count++
-	l.totalUS += d.Microseconds()
-	l.mu.Unlock()
-}
-
-// snapshot returns the retained samples, sorted ascending.
-func (l *latencySampler) snapshot() ([]time.Duration, int64, int64) {
-	l.mu.Lock()
-	out := make([]time.Duration, l.n)
-	copy(out, l.ring[:l.n])
-	count, total := l.count, l.totalUS
-	l.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, count, total
-}
-
-func pct(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
-}
-
-func (l *latencySampler) p95() time.Duration {
-	s, _, _ := l.snapshot()
-	return pct(s, 0.95)
-}
-
-// percentiles is the expvar.Func payload: count, mean, and tail
-// latencies in microseconds.
-func (l *latencySampler) percentiles() any {
-	s, count, totalUS := l.snapshot()
-	out := map[string]int64{
-		"count": count,
-		"p50":   pct(s, 0.50).Microseconds(),
-		"p95":   pct(s, 0.95).Microseconds(),
-		"p99":   pct(s, 0.99).Microseconds(),
-	}
-	if count > 0 {
-		out["mean"] = totalUS / count
-	}
-	return out
-}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 )
 
 // Handshake: the client opens with Magic; the server answers with
@@ -263,6 +264,21 @@ func ReadResponse(br *bufio.Reader, maxPayload uint32) (Response, error) {
 	return DecodeResponse(body, maxPayload)
 }
 
+// StatVersion is the newest STAT payload version this package encodes.
+// Version negotiation rides on the STAT request's otherwise-unused
+// Length field: a client advertises the highest version it understands
+// there (0, from pre-versioning clients, means 1), and the server
+// replies with min(advertised, StatVersion). Pre-versioning servers
+// ignore the field and always answer version 1, so the exchange
+// degrades gracefully in both directions without touching the
+// fixed-length handshake.
+//
+// Version history:
+//
+//	1: mode + capacity/dirty/reads/writes/bytes/scrubbed counters
+//	2: v1 + read/write latency percentiles (p50/p95/p99, ns)
+const StatVersion = 2
+
 // Stat is the STAT payload: a snapshot of the served store.
 type Stat struct {
 	Capacity        int64
@@ -273,30 +289,72 @@ type Stat struct {
 	BytesRead       int64
 	BytesWritten    int64
 	ScrubbedStripes uint64
+
+	// Server-side request latency percentiles (STAT version >= 2; zero
+	// when the server only speaks version 1).
+	ReadP50, ReadP95, ReadP99    time.Duration
+	WriteP50, WriteP95, WriteP99 time.Duration
 }
 
-const statPayloadLen = 1 + 1 + 7*8
+const (
+	statPayloadLenV1 = 1 + 1 + 7*8
+	statPayloadLenV2 = statPayloadLenV1 + 6*8
+)
 
-// appendStat encodes a Stat (version byte first).
-func appendStat(dst []byte, st *Stat) []byte {
-	dst = append(dst, 1, st.Mode)
+// statVersionFor clamps a client-advertised version to what this server
+// encodes.
+func statVersionFor(advertised uint32) uint8 {
+	if advertised <= 1 {
+		return 1
+	}
+	if advertised >= StatVersion {
+		return StatVersion
+	}
+	return uint8(advertised)
+}
+
+// appendStat encodes a Stat (version byte first) at the given payload
+// version.
+func appendStat(dst []byte, st *Stat, version uint8) []byte {
+	if version < 1 || version > StatVersion {
+		version = 1
+	}
+	dst = append(dst, version, st.Mode)
 	for _, v := range [...]uint64{
 		uint64(st.Capacity), uint64(st.DirtyStripes), st.Reads, st.Writes,
 		uint64(st.BytesRead), uint64(st.BytesWritten), st.ScrubbedStripes,
 	} {
 		dst = binary.BigEndian.AppendUint64(dst, v)
 	}
+	if version >= 2 {
+		for _, d := range [...]time.Duration{
+			st.ReadP50, st.ReadP95, st.ReadP99,
+			st.WriteP50, st.WriteP95, st.WriteP99,
+		} {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(d))
+		}
+	}
 	return dst
 }
 
-// decodeStat parses a STAT payload.
+// decodeStat parses a STAT payload at any version this package
+// understands; fields a version-1 server never sent stay zero.
 func decodeStat(b []byte) (Stat, error) {
 	var st Stat
-	if len(b) != statPayloadLen {
-		return st, fmt.Errorf("%w: stat payload %d bytes, want %d", ErrTruncatedFrame, len(b), statPayloadLen)
+	if len(b) < 1 {
+		return st, fmt.Errorf("%w: empty stat payload", ErrTruncatedFrame)
 	}
-	if b[0] != 1 {
+	want := 0
+	switch b[0] {
+	case 1:
+		want = statPayloadLenV1
+	case 2:
+		want = statPayloadLenV2
+	default:
 		return st, fmt.Errorf("server: unknown stat version %d", b[0])
+	}
+	if len(b) != want {
+		return st, fmt.Errorf("%w: stat v%d payload %d bytes, want %d", ErrTruncatedFrame, b[0], len(b), want)
 	}
 	st.Mode = b[1]
 	u := func(i int) uint64 { return binary.BigEndian.Uint64(b[2+8*i:]) }
@@ -307,5 +365,13 @@ func decodeStat(b []byte) (Stat, error) {
 	st.BytesRead = int64(u(4))
 	st.BytesWritten = int64(u(5))
 	st.ScrubbedStripes = u(6)
+	if b[0] >= 2 {
+		st.ReadP50 = time.Duration(u(7))
+		st.ReadP95 = time.Duration(u(8))
+		st.ReadP99 = time.Duration(u(9))
+		st.WriteP50 = time.Duration(u(10))
+		st.WriteP95 = time.Duration(u(11))
+		st.WriteP99 = time.Duration(u(12))
+	}
 	return st, nil
 }

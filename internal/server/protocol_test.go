@@ -42,7 +42,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Op: OpWrite, Status: StatusBusy, ID: 8},
 		{Op: OpFlush, Status: StatusIO, ID: 9, Data: []byte("disk 3 write: device failed")},
 		{Op: OpRead, Status: StatusDataLoss, ID: 10, Data: []byte("stripe 12")},
-		{Op: OpStat, Status: StatusOK, ID: 11, Data: appendStat(nil, &Stat{Capacity: 1 << 30, Writes: 42})},
+		{Op: OpStat, Status: StatusOK, ID: 11, Data: appendStat(nil, &Stat{Capacity: 1 << 30, Writes: 42}, 1)},
 	}
 	for _, want := range cases {
 		t.Run(want.Status.String(), func(t *testing.T) {
@@ -67,7 +67,7 @@ func TestStatRoundTrip(t *testing.T) {
 		Reads: 1000, Writes: 2000, BytesRead: 1 << 22, BytesWritten: 1 << 23,
 		ScrubbedStripes: 99,
 	}
-	got, err := decodeStat(appendStat(nil, &want))
+	got, err := decodeStat(appendStat(nil, &want, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -285,10 +285,12 @@ func (s *Server) worker() {
 }
 
 func (s *Server) execute(t *task) {
+	queued := time.Since(t.start) // dispatch -> worker pickup
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.RequestTimeout)
 	resp := s.apply(ctx, &t.req)
 	cancel()
 	d := time.Since(t.start)
+	s.metrics.task(&t.req, resp.Status, queued, d)
 	for _, id := range t.ids {
 		r := resp
 		r.ID = id
@@ -342,8 +344,11 @@ func (s *Server) apply(ctx context.Context, r *Request) Response {
 			return s.fail(resp, err)
 		}
 	case OpStat:
+		// The request's Length field advertises the newest STAT payload
+		// version the client understands (0 from pre-versioning clients).
+		ver := statVersionFor(r.Length)
 		st := s.store.Stats()
-		resp.Data = appendStat(nil, &Stat{
+		stat := Stat{
 			Capacity:        cap,
 			Mode:            uint8(s.store.Mode()),
 			DirtyStripes:    st.DirtyStripes,
@@ -352,7 +357,14 @@ func (s *Server) apply(ctx context.Context, r *Request) Response {
 			BytesRead:       st.BytesRead,
 			BytesWritten:    st.BytesWritten,
 			ScrubbedStripes: st.ScrubbedStripes,
-		})
+		}
+		if ver >= 2 {
+			rl := s.metrics.OpLatency(OpRead)
+			wl := s.metrics.OpLatency(OpWrite)
+			stat.ReadP50, stat.ReadP95, stat.ReadP99 = rl.Quantile(0.50), rl.Quantile(0.95), rl.Quantile(0.99)
+			stat.WriteP50, stat.WriteP95, stat.WriteP99 = wl.Quantile(0.50), wl.Quantile(0.95), wl.Quantile(0.99)
+		}
+		resp.Data = appendStat(nil, &stat, ver)
 	default:
 		resp.Status = StatusBadRequest
 		resp.Data = []byte(fmt.Sprintf("unknown op %d", uint8(r.Op)))

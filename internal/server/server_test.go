@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"afraid/internal/core"
+	"afraid/internal/obs"
 )
 
 // startServer brings up a server over a fresh AFRAID-mode mem-device
@@ -284,6 +285,39 @@ func TestServerConcurrency(t *testing.T) {
 	}
 	if _, ok := doc["dirty_stripes"]; !ok {
 		t.Fatal("metrics endpoint missing dirty_stripes")
+	}
+
+	// The /debug/histograms payload (same handler afraidd mounts) must
+	// report non-zero p50/p95/p99 for READ and WRITE after the
+	// workload, in both the server and core sections.
+	rec = httptest.NewRecorder()
+	obs.HistogramHandler(
+		obs.Section{Name: "server", Reg: m.Obs()},
+		obs.Section{Name: "core", Reg: st.Obs()},
+	).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/histograms", nil))
+	var hist map[string]map[string]obs.Summary
+	if err := json.Unmarshal(rec.Body.Bytes(), &hist); err != nil {
+		t.Fatalf("histogram endpoint JSON: %v\n%s", err, rec.Body.String())
+	}
+	for _, op := range []Op{OpRead, OpWrite} {
+		sum, ok := hist["server"][op.String()]
+		if !ok {
+			t.Fatalf("histogram dump missing server/%s", op)
+		}
+		if sum.Count == 0 || sum.P50US <= 0 || sum.P95US <= 0 || sum.P99US <= 0 {
+			t.Fatalf("server %s histogram has zero percentiles after workload: %+v", op, sum)
+		}
+		if sum.P50US > sum.P99US {
+			t.Fatalf("server %s percentiles not ordered: %+v", op, sum)
+		}
+	}
+	for _, name := range []string{"device_read", "device_write", "stripe_lock_wait"} {
+		if sum := hist["core"][name]; sum.Count == 0 {
+			t.Fatalf("core %s histogram empty after workload", name)
+		}
+	}
+	if qw := hist["server"]["queue_wait"]; qw.Count == 0 {
+		t.Fatal("queue_wait histogram empty after workload")
 	}
 
 	// Graceful drain, then verify every region directly on the store.

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"afraid/internal/core"
+)
+
+func TestStatV2RoundTrip(t *testing.T) {
+	want := Stat{
+		Capacity: 512 << 20, Mode: 0, DirtyStripes: 17,
+		Reads: 1000, Writes: 2000, BytesRead: 1 << 22, BytesWritten: 1 << 23,
+		ScrubbedStripes: 99,
+		ReadP50:         120 * time.Microsecond,
+		ReadP95:         900 * time.Microsecond,
+		ReadP99:         3 * time.Millisecond,
+		WriteP50:        200 * time.Microsecond,
+		WriteP95:        2 * time.Millisecond,
+		WriteP99:        9 * time.Millisecond,
+	}
+	b := appendStat(nil, &want, 2)
+	if len(b) != statPayloadLenV2 {
+		t.Fatalf("v2 payload %d bytes, want %d", len(b), statPayloadLenV2)
+	}
+	got, err := decodeStat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("v2 round trip: got %+v want %+v", got, want)
+	}
+}
+
+// TestStatV1DropsPercentiles is the new-client/old-server direction: a
+// version-1 payload (all an old server can send) must decode cleanly
+// with the percentile fields zero.
+func TestStatV1DropsPercentiles(t *testing.T) {
+	full := Stat{
+		Capacity: 1 << 30, DirtyStripes: 3, Writes: 7,
+		ReadP95: time.Second, WriteP99: time.Minute, // lost by v1 encoding
+	}
+	b := appendStat(nil, &full, 1)
+	if len(b) != statPayloadLenV1 {
+		t.Fatalf("v1 payload %d bytes, want %d", len(b), statPayloadLenV1)
+	}
+	got, err := decodeStat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Capacity != full.Capacity || got.DirtyStripes != full.DirtyStripes || got.Writes != full.Writes {
+		t.Fatalf("v1 base fields: got %+v", got)
+	}
+	if got.ReadP95 != 0 || got.WriteP99 != 0 {
+		t.Fatalf("v1 decode produced percentiles from nowhere: %+v", got)
+	}
+}
+
+func TestStatVersionClamping(t *testing.T) {
+	cases := []struct {
+		advertised uint32
+		want       uint8
+	}{
+		{0, 1},  // pre-versioning client
+		{1, 1},  // explicit v1
+		{2, 2},  // current
+		{99, 2}, // future client against this server
+		{1 << 20, 2},
+	}
+	for _, c := range cases {
+		if got := statVersionFor(c.advertised); got != c.want {
+			t.Errorf("statVersionFor(%d) = %d, want %d", c.advertised, got, c.want)
+		}
+	}
+	// Encoding at an impossible version degrades to v1 rather than
+	// emitting a payload nothing can parse.
+	b := appendStat(nil, &Stat{}, 0)
+	if b[0] != 1 || len(b) != statPayloadLenV1 {
+		t.Fatalf("appendStat at version 0 produced version %d, len %d", b[0], len(b))
+	}
+}
+
+func TestStatTruncatedPayloads(t *testing.T) {
+	for _, b := range [][]byte{nil, {2}, appendStat(nil, &Stat{}, 2)[:statPayloadLenV1], {7, 0}} {
+		if _, err := decodeStat(b); err == nil {
+			t.Errorf("decodeStat(%d bytes, version %v) accepted a bad payload", len(b), b)
+		}
+	}
+}
+
+// TestStatNegotiationOverWire exercises both directions against a live
+// server. An old client (Length=0, what pre-versioning clients send,
+// since Client.Stat set no Length) must get a version-1 payload; the
+// current Client advertises StatVersion and gets live percentiles.
+func TestStatNegotiationOverWire(t *testing.T) {
+	_, _, addr := startServer(t, core.Options{Mode: core.Afraid, ScrubIdle: time.Hour, DisableScrubber: true}, Options{})
+
+	// Generate latency samples so v2 percentiles are non-zero.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 4<<10)
+	for i := 0; i < 32; i++ {
+		if _, err := c.WriteAt(buf, int64(i)*int64(len(buf))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ReadAt(buf, int64(i)*int64(len(buf))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Old client: raw STAT frame with Length=0.
+	raw := dialRaw(t, addr)
+	frame := AppendRequest(nil, &Request{Op: OpStat, ID: 1})
+	if _, err := raw.nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponse(raw.br, DefaultMaxPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("old-client STAT status %v", resp.Status)
+	}
+	if len(resp.Data) != statPayloadLenV1 || resp.Data[0] != 1 {
+		t.Fatalf("old client got %d-byte version-%d payload, want v1 (%d bytes)", len(resp.Data), resp.Data[0], statPayloadLenV1)
+	}
+	if _, err := decodeStat(resp.Data); err != nil {
+		t.Fatalf("old-client payload does not decode: %v", err)
+	}
+
+	// New client: Client.Stat advertises StatVersion.
+	st, err := c.Stat(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes == 0 || st.Reads == 0 {
+		t.Fatalf("stat counters empty: %+v", st)
+	}
+	for name, d := range map[string]time.Duration{
+		"ReadP50": st.ReadP50, "ReadP95": st.ReadP95, "ReadP99": st.ReadP99,
+		"WriteP50": st.WriteP50, "WriteP95": st.WriteP95, "WriteP99": st.WriteP99,
+	} {
+		if d <= 0 {
+			t.Errorf("v2 STAT percentile %s = %v, want > 0", name, d)
+		}
+	}
+	if st.ReadP50 > st.ReadP99 || st.WriteP50 > st.WriteP99 {
+		t.Errorf("percentiles not ordered: %+v", st)
+	}
+}

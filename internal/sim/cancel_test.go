@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimerStopDuringFireReportsFalse pins the timer-cancel contract:
+// once the engine has committed to running an event, Stop must report
+// false — including a Stop issued from inside the event's own callback.
+// A true here would let callers believe they cancelled a callback that
+// is in fact running, the root of the stale idle-timer bug in
+// internal/array.
+func TestTimerStopDuringFireReportsFalse(t *testing.T) {
+	eng := NewEngine()
+	var tm *Timer
+	fired := false
+	tm = eng.At(10*time.Millisecond, func() {
+		fired = true
+		if tm.Stop() {
+			t.Error("Stop on the currently-firing timer reported true")
+		}
+	})
+	if !eng.Step() {
+		t.Fatal("no event to step")
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if tm.Stop() {
+		t.Error("Stop on an already-fired timer reported true")
+	}
+}
+
+// TestTimerStopAfterRearmOnlyCancelsOnce exercises the stop/re-arm
+// pattern: stopping a live timer works exactly once, and the cancelled
+// event never runs even if a replacement is scheduled at the same time.
+func TestTimerStopAfterRearmOnlyCancelsOnce(t *testing.T) {
+	eng := NewEngine()
+	ranOld, ranNew := false, false
+	old := eng.At(5*time.Millisecond, func() { ranOld = true })
+	if !old.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if old.Stop() {
+		t.Fatal("second Stop on the same timer reported true")
+	}
+	eng.At(5*time.Millisecond, func() { ranNew = true })
+	eng.Run()
+	if ranOld {
+		t.Error("cancelled event ran")
+	}
+	if !ranNew {
+		t.Error("replacement event did not run")
+	}
+}

@@ -52,8 +52,12 @@ type Timer struct {
 }
 
 // Stop cancels the timer. It reports whether the event had not yet fired
-// (and was therefore actually cancelled). Stopping an already-fired or
-// already-stopped timer is a no-op.
+// (and was therefore actually cancelled). Stopping an already-fired,
+// currently-firing, or already-stopped timer is a no-op that reports
+// false — in particular, a callback calling Stop on its own timer gets
+// false, because that firing can no longer be prevented. Callers that
+// re-arm timers must therefore not rely on Stop alone to keep a stale
+// callback from running; guard the callback with a generation check.
 func (t *Timer) Stop() bool {
 	if t == nil || t.e == nil || t.e.dead {
 		return false
@@ -127,6 +131,11 @@ func (e *Engine) Step() bool {
 		if ev.dead {
 			continue
 		}
+		// The event is committed to run: mark it dead before the
+		// callback so a Stop issued from inside fn (or anything it
+		// calls) reports false instead of claiming a cancellation that
+		// never happened.
+		ev.dead = true
 		e.now = ev.at
 		e.steps++
 		ev.fn()
