@@ -1,0 +1,194 @@
+// Command afraidchaos runs seeded chaos schedules against the
+// functional store: randomized workloads interrupted by power cuts,
+// marking-memory loss, transient member faults, disk failures, and
+// repairs, with every episode checked against the shadow model in
+// internal/fault. An episode *survives* when nothing was lost, is
+// *lost* when data was lost but the loss was legal and reported (the
+// paper's exposure window), and is *violated* when the store broke its
+// contract — silent divergence, unreported loss, or loss outside the
+// unredundant set.
+//
+// Every schedule is derived from the episode's seed, so a violation is
+// reproducible from the printed repro line alone.
+//
+// Usage:
+//
+//	afraidchaos                              # 200 episodes, seed 1
+//	afraidchaos -episodes 500 -seed 7 -v
+//	afraidchaos -modes afraid,raid6 -ops 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"afraid/internal/core"
+	"afraid/internal/fault"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed; episode i uses seed+i")
+	episodes := flag.Int("episodes", 200, "episodes to run, round-robin over -modes")
+	modesFlag := flag.String("modes", "afraid,raid5,raid6,afraid6", "comma-separated policies")
+	ops := flag.Int("ops", 0, "workload operations per episode (0 = harness default)")
+	disks := flag.Int("disks", 0, "member disks (0 = harness default)")
+	stripes := flag.Int64("stripes", 0, "stripes per disk (0 = harness default)")
+	verbose := flag.Bool("v", false, "print every episode")
+	failFast := flag.Bool("fail-fast", false, "stop at the first violation")
+	flag.Parse()
+
+	modes, err := parseModes(*modesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afraidchaos:", err)
+		os.Exit(2)
+	}
+
+	tallies := make(map[core.Mode]*tally, len(modes))
+	for _, m := range modes {
+		tallies[m] = &tally{}
+	}
+	var violations []string
+
+	for i := 0; i < *episodes; i++ {
+		mode := modes[i%len(modes)]
+		epSeed := *seed + int64(i)
+		cfg := schedule(epSeed, mode)
+		cfg.Ops = *ops
+		cfg.Disks = *disks
+		cfg.StripesPerDisk = *stripes
+
+		res, err := fault.RunEpisode(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afraidchaos: episode seed=%d mode=%v: %v\n", epSeed, mode, err)
+			os.Exit(2)
+		}
+		t := tallies[mode]
+		t.note(res)
+		if *verbose || len(res.Violations) > 0 {
+			fmt.Printf("seed=%-6d %-8v %s\n", epSeed, mode, describe(res))
+		}
+		for _, v := range res.Violations {
+			violations = append(violations,
+				fmt.Sprintf("seed=%d mode=%v: %s\n  repro: afraidchaos -seed %d -episodes 1 -modes %v",
+					epSeed, mode, v, epSeed, mode))
+		}
+		if *failFast && len(violations) > 0 {
+			break
+		}
+	}
+
+	fmt.Printf("\n%-8s %9s %9s %6s %9s %6s %11s %9s\n",
+		"policy", "episodes", "survived", "lost", "violated", "crash", "lost-bytes", "repaired")
+	for _, m := range modes {
+		t := tallies[m]
+		fmt.Printf("%-8v %9d %9d %6d %9d %6d %11d %9d\n",
+			m, t.episodes, t.survived, t.lost, t.violated, t.crashed, t.lostBytes, t.recovered)
+	}
+
+	if len(violations) > 0 {
+		fmt.Printf("\n%d VIOLATION(S):\n", len(violations))
+		for _, v := range violations {
+			fmt.Println(" ", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nno invariant violations")
+}
+
+// schedule derives an episode's fault plan from its seed, independently
+// of the workload stream (which RunEpisode seeds itself).
+func schedule(epSeed int64, mode core.Mode) fault.Config {
+	rng := rand.New(rand.NewSource(epSeed ^ 0x5eed))
+	cfg := fault.Config{Seed: epSeed, Mode: mode}
+	cfg.PowerCut = rng.Float64() < 0.5
+	deferredMode := mode == core.Afraid || mode == core.Afraid6
+	if cfg.PowerCut && deferredMode {
+		cfg.DropNVRAM = rng.Float64() < 0.25
+	}
+	// RunEpisode caps failures at the mode's redundancy (0 for raid0).
+	cfg.DiskFails = rng.Intn(3)
+	cfg.Transients = rng.Intn(2)
+	if cfg.DiskFails > 0 || cfg.Transients > 0 {
+		cfg.Repair = rng.Float64() < 0.9
+	}
+	if mode == core.Afraid6 {
+		cfg.DeferBothParities = rng.Float64() < 0.5
+	}
+	return cfg
+}
+
+type tally struct {
+	episodes, survived, lost, violated int
+	crashed                            int
+	lostBytes                          int64
+	recovered                          uint64
+}
+
+func (t *tally) note(r *fault.Result) {
+	t.episodes++
+	switch {
+	case len(r.Violations) > 0:
+		t.violated++
+	case r.LostBytes > 0:
+		t.lost++
+	default:
+		t.survived++
+	}
+	if r.Crashed {
+		t.crashed++
+	}
+	t.lostBytes += r.LostBytes
+	t.recovered += r.RecoveredStripes
+}
+
+func describe(r *fault.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "acked=%d failed=%d", r.AckedWrites, r.FailedWrites)
+	if r.Crashed {
+		fmt.Fprintf(&b, " crash(dirty=%d holes=%d)", r.DirtyAtCrash, r.HoleStripes)
+	}
+	if r.NVRAMRebuild {
+		b.WriteString(" nvram-rebuild")
+	}
+	if len(r.FailedDisks) > 0 {
+		fmt.Fprintf(&b, " failed-disks=%v", r.FailedDisks)
+	}
+	if r.LostBytes > 0 {
+		fmt.Fprintf(&b, " lost=%dB damaged=%d", r.LostBytes, r.DamagedStripes)
+	}
+	if r.RecoveredStripes > 0 {
+		fmt.Fprintf(&b, " repaired=%d", r.RecoveredStripes)
+	}
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(&b, " VIOLATIONS=%d", len(r.Violations))
+	}
+	return b.String()
+}
+
+func parseModes(s string) ([]core.Mode, error) {
+	var modes []core.Mode
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "afraid":
+			modes = append(modes, core.Afraid)
+		case "raid5":
+			modes = append(modes, core.Raid5)
+		case "raid0":
+			modes = append(modes, core.Raid0)
+		case "raid6":
+			modes = append(modes, core.Raid6)
+		case "afraid6":
+			modes = append(modes, core.Afraid6)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown mode %q", name)
+		}
+	}
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("no modes in %q", s)
+	}
+	return modes, nil
+}

@@ -93,6 +93,25 @@ func main() {
 
 	if *metricsAddr != "" {
 		srv.Metrics().Publish("afraid.server")
+		// Degraded-state snapshot: which members are dead, what the
+		// failures cost (the paper's exposure, realized), and how far
+		// repair sweeps have gotten.
+		expvar.Publish("afraid.store", expvar.Func(func() any {
+			st1 := st.Stats()
+			dead := st.DeadDisks()
+			if dead == nil {
+				dead = []int{} // render as [] rather than null
+			}
+			return map[string]any{
+				"dead_disks":        dead,
+				"dirty_stripes":     st.DirtyStripes(),
+				"damage_bytes":      st1.DamageBytes,
+				"damaged_stripes":   st1.DamagedStripes,
+				"recovered_stripes": st1.RecoveredStripes,
+				"degraded_reads":    st1.DegradedReads,
+				"nvram_recovered":   st1.NVRAMRecovered,
+			}
+		}))
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.Metrics().Handler())
 		mux.Handle("/debug/vars", expvar.Handler())

@@ -112,4 +112,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("drained cleanly")
+
+	// Degraded-state snapshot — what afraidd publishes as the
+	// "afraid.store" expvar. Healthy here, but this is where dead
+	// members and realized data loss would show up.
+	stats := store.Stats()
+	fmt.Printf("store health: dead-disks=%v damage-bytes=%d damaged-stripes=%d recovered-stripes=%d\n",
+		store.DeadDisks(), stats.DamageBytes, stats.DamagedStripes, stats.RecoveredStripes)
 }

@@ -37,6 +37,9 @@ func TestFaultDegradedReadsServed(t *testing.T) {
 	if m.DegradedReads == 0 {
 		t.Fatal("no degraded reads recorded")
 	}
+	if m.DegradedRequests == 0 {
+		t.Fatal("no requests counted as submitted while degraded")
+	}
 	if m.Completed != uint64(len(tr.Records)) {
 		t.Fatalf("completed %d/%d", m.Completed, len(tr.Records))
 	}
@@ -130,7 +133,7 @@ func TestNoFaultLeavesFieldsZero(t *testing.T) {
 	cfg := smallCfg(AFRAID)
 	tr := smallWriteTrace(20, 20*time.Millisecond, 0, cfg.Geometry.Capacity())
 	m := mustRun(t, cfg, tr)
-	if m.FailedAt != 0 || m.DegradedReads != 0 || m.LostUnitsAtFailure != 0 {
+	if m.FailedAt != 0 || m.DegradedReads != 0 || m.DegradedRequests != 0 || m.LostUnitsAtFailure != 0 {
 		t.Fatalf("fault fields non-zero without fault: %+v", m)
 	}
 }

@@ -28,6 +28,9 @@ func (a *Array) Submit(rec trace.Record) {
 		panic(fmt.Sprintf("array: request [%d,%d) outside capacity %d", rec.Offset, rec.Offset+rec.Length, a.geo.Capacity()))
 	}
 	a.submitted++
+	if a.deg.failed >= 0 {
+		a.deg.degLatency++
+	}
 	r := &request{rec: rec, submit: a.eng.Now()}
 	admitted, ok := a.limiter.Submit(iosched.Request{Pos: rec.Offset, Payload: r})
 	if ok {

@@ -60,6 +60,7 @@ type Metrics struct {
 	FailedAt           time.Duration // zero when no fault injected
 	RebuildDoneAt      time.Duration // zero when no spare sweep finished
 	DegradedReads      uint64        // extents served by reconstruction
+	DegradedRequests   int64         // requests submitted while a member was down
 	LostUnitsAtFailure int64         // dirty-stripe units on the failed disk
 
 	Disks []disk.Stats
@@ -116,6 +117,7 @@ func (a *Array) Metrics(end time.Duration) Metrics {
 		FailedAt:           a.deg.failedAt,
 		RebuildDoneAt:      a.deg.doneAt,
 		DegradedReads:      a.deg.degReads,
+		DegradedRequests:   a.deg.degLatency,
 		LostUnitsAtFailure: a.deg.lostUnits,
 	}
 	for _, d := range a.disks {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestAfraid6FlushRebuildsTornP: in Afraid6 (deferred Q), a marked
+// stripe can carry a *torn* synchronous P write after a crash. The
+// scrubber must rewrite BOTH parities before unmarking, or the stale P
+// survives as latent corruption that only surfaces on the next disk
+// loss.
+func TestAfraid6FlushRebuildsTornP(t *testing.T) {
+	const unit = 512
+	devs := make([]BlockDevice, 5)
+	mems := make([]*MemDevice, 5)
+	for i := range devs {
+		mems[i] = NewMemDevice(16 * unit)
+		devs[i] = mems[i]
+	}
+	s, err := Open(devs, &MemNVRAM{}, Options{Mode: Afraid6, StripeUnit: unit, DisableScrubber: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := bytes.Repeat([]byte{0x3c}, unit)
+	if _, err := s.WriteAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Stripe 0 is marked (Q deferred). Simulate the crash-torn P write:
+	// garbage lands where the synchronous P update went.
+	geo := s.Geometry()
+	pDisk := geo.ParityDisk(0)
+	if _, err := mems[pDisk].WriteAt(bytes.Repeat([]byte{0xFF}, unit), geo.DiskOffset(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.CheckParity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("flush left stale parity on stripes %v (scrub must rewrite P as well as Q)", bad)
+	}
+}
+
+// gatedDevice blocks its blockAt-th write until the gate is released,
+// letting a test freeze a repair sweep mid-array deterministically.
+type gatedDevice struct {
+	*MemDevice
+	mu      sync.Mutex
+	writes  int
+	blockAt int
+	gate    chan struct{}
+	reached chan struct{}
+}
+
+func (g *gatedDevice) WriteAt(p []byte, off int64) (int, error) {
+	g.mu.Lock()
+	g.writes++
+	hit := g.writes == g.blockAt
+	g.mu.Unlock()
+	if hit {
+		close(g.reached)
+		<-g.gate
+	}
+	return g.MemDevice.WriteAt(p, off)
+}
+
+// TestRepairMirrorsConcurrentDegradedWrites: while RepairDisk sweeps
+// stripes onto a replacement, degraded writes to already-swept stripes
+// must be mirrored there — otherwise the replacement is swapped in
+// holding stale data. The replacement is gated so the sweep blocks at
+// stripe 100 (it writes the replacement exactly once per stripe); the
+// test then writes stripes the sweep has passed and releases the gate.
+func TestRepairMirrorsConcurrentDegradedWrites(t *testing.T) {
+	const (
+		unit    = 512
+		stripes = 256
+	)
+	devs := make([]BlockDevice, 4)
+	for i := range devs {
+		devs[i] = NewMemDevice(stripes * unit)
+	}
+	s, err := Open(devs, &MemNVRAM{}, Options{Mode: Afraid, StripeUnit: unit, DisableScrubber: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sdb := s.Geometry().StripeDataBytes()
+	fill := func(tag byte, stripe int64) []byte {
+		return bytes.Repeat([]byte{tag, byte(stripe)}, int(sdb)/2)
+	}
+	for st := int64(0); st < stripes; st++ {
+		if _, err := s.WriteAt(fill(0xA0, st), st*sdb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := &gatedDevice{
+		MemDevice: NewMemDevice(stripes * unit),
+		blockAt:   101, // the write for stripe 100: cursor has passed 0..99
+		gate:      make(chan struct{}),
+		reached:   make(chan struct{}),
+	}
+	done := make(chan struct{})
+	var report DamageReport
+	var repErr error
+	go func() {
+		defer close(done)
+		report, repErr = s.RepairDisk(1, rep)
+	}()
+
+	<-rep.reached
+	// The sweep is frozen inside stripe 100 (its lock is 100 % 64 = 36;
+	// the stripes below avoid that pool slot). These writes land on
+	// stripes the cursor already passed, so they must mirror.
+	for st := int64(0); st < 30; st++ {
+		if _, err := s.WriteAt(fill(0xB7, st), st*sdb); err != nil {
+			t.Fatalf("degraded write stripe %d: %v", st, err)
+		}
+	}
+	close(rep.gate)
+	<-done
+	if repErr != nil {
+		t.Fatal(repErr)
+	}
+	if len(report.Lost) != 0 {
+		t.Fatalf("repair reported loss on a flushed array: %+v", report.Lost)
+	}
+
+	// The replacement is live now; the rewritten stripes must serve the
+	// post-sweep data, not the sweep-time reconstruction.
+	for st := int64(0); st < stripes; st++ {
+		tag := byte(0xA0)
+		if st < 30 {
+			tag = 0xB7
+		}
+		want := fill(tag, st)
+		got := make([]byte, sdb)
+		if _, err := s.ReadAt(got, st*sdb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("stripe %d stale after repair raced degraded writes", st)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.CheckParity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("parity inconsistent after repair: stripes %v", bad)
+	}
+}

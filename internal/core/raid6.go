@@ -62,8 +62,8 @@ func (s *Store) materialize6(stripe int64, dead []int, pFresh, qFresh bool) (uni
 			missing = append(missing, i)
 			continue
 		}
-		if _, err := s.devs[d].ReadAt(units[i], off); err != nil {
-			return nil, false, fmt.Errorf("core: disk %d read: %w", d, err)
+		if err := s.devRead(d, units[i], off); err != nil {
+			return nil, false, err
 		}
 	}
 	if len(missing) == 0 {
@@ -77,8 +77,8 @@ func (s *Store) materialize6(stripe int64, dead []int, pFresh, qFresh bool) (uni
 
 	readParity := func(d int) ([]byte, error) {
 		buf := make([]byte, unit)
-		if _, err := s.devs[d].ReadAt(buf, off); err != nil {
-			return nil, fmt.Errorf("core: parity read on disk %d: %w", d, err)
+		if err := s.devRead(d, buf, off); err != nil {
+			return nil, err
 		}
 		return buf, nil
 	}
@@ -156,8 +156,8 @@ func (s *Store) readSpan6(p []byte, base int64, sp layout.StripeSpan) error {
 	for _, e := range sp.Extents {
 		dst := p[e.ArrOff-base : e.ArrOff-base+e.Len]
 		if !isDead(e.Disk) {
-			if _, err := s.devs[e.Disk].ReadAt(dst, e.DiskOff); err != nil {
-				return fmt.Errorf("core: disk %d read: %w", e.Disk, err)
+			if err := s.devRead(e.Disk, dst, e.DiskOff); err != nil {
+				return err
 			}
 			continue
 		}
@@ -234,32 +234,32 @@ func (s *Store) writeSpanSync6(p []byte, base int64, sp layout.StripeSpan, withP
 	for _, e := range sp.Extents {
 		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
 		old := make([]byte, e.Len)
-		if _, err := s.devs[e.Disk].ReadAt(old, e.DiskOff); err != nil {
-			return fmt.Errorf("core: old data read: %w", err)
+		if err := s.devRead(e.Disk, old, e.DiskOff); err != nil {
+			return err
 		}
 		rangeOff := s.geo.DiskOffset(stripe) + e.UnitOff
 		if withP {
 			par := make([]byte, e.Len)
-			if _, err := s.devs[pDisk].ReadAt(par, rangeOff); err != nil {
-				return fmt.Errorf("core: old P read: %w", err)
+			if err := s.devRead(pDisk, par, rangeOff); err != nil {
+				return err
 			}
 			parity.Update(par, old, src)
-			if _, err := s.devs[pDisk].WriteAt(par, rangeOff); err != nil {
-				return fmt.Errorf("core: P write: %w", err)
+			if err := s.devWrite(pDisk, par, rangeOff); err != nil {
+				return err
 			}
 		}
 		if withQ {
 			q := make([]byte, e.Len)
-			if _, err := s.devs[qDisk].ReadAt(q, rangeOff); err != nil {
-				return fmt.Errorf("core: old Q read: %w", err)
+			if err := s.devRead(qDisk, q, rangeOff); err != nil {
+				return err
 			}
 			parity.UpdateQ(q, old, src, e.DataIdx)
-			if _, err := s.devs[qDisk].WriteAt(q, rangeOff); err != nil {
-				return fmt.Errorf("core: Q write: %w", err)
+			if err := s.devWrite(qDisk, q, rangeOff); err != nil {
+				return err
 			}
 		}
-		if _, err := s.devs[e.Disk].WriteAt(src, e.DiskOff); err != nil {
-			return fmt.Errorf("core: data write: %w", err)
+		if err := s.devWrite(e.Disk, src, e.DiskOff); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -291,7 +291,9 @@ func (s *Store) writeSpanDegraded6(p []byte, base int64, sp layout.StripeSpan, d
 
 // storeStripeImage6 writes back data and recomputed parities to every
 // surviving disk; with both parity disks alive the stripe ends fully
-// redundant and is unmarked.
+// redundant and is unmarked. A dead disk's unit (data, P, or Q) is
+// mirrored onto an in-progress replacement once the repair sweep has
+// passed this stripe — see storeStripeImage.
 func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasDirty bool) error {
 	isDead := func(d int) bool {
 		for _, x := range dead {
@@ -301,14 +303,25 @@ func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasD
 		}
 		return false
 	}
+	mirror := func(d int, buf []byte, off int64) error {
+		if rd := s.repairTarget(stripe, d); rd != nil {
+			if _, err := rd.WriteAt(buf, off); err != nil {
+				return fmt.Errorf("core: repair mirror write: %w", err)
+			}
+		}
+		return nil
+	}
 	off := s.geo.DiskOffset(stripe)
 	for i, u := range units {
 		d := s.geo.DataDisk(stripe, i)
 		if isDead(d) {
+			if err := mirror(d, u, off); err != nil {
+				return err
+			}
 			continue
 		}
-		if _, err := s.devs[d].WriteAt(u, off); err != nil {
-			return fmt.Errorf("core: disk %d write: %w", d, err)
+		if err := s.devWrite(d, u, off); err != nil {
+			return err
 		}
 	}
 	pBuf := make([]byte, s.geo.StripeUnit)
@@ -318,16 +331,20 @@ func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasD
 	qDisk := s.geo.QDisk(stripe)
 	pWritten, qWritten := false, false
 	if !isDead(pDisk) {
-		if _, err := s.devs[pDisk].WriteAt(pBuf, off); err != nil {
-			return fmt.Errorf("core: P write: %w", err)
+		if err := s.devWrite(pDisk, pBuf, off); err != nil {
+			return err
 		}
 		pWritten = true
+	} else if err := mirror(pDisk, pBuf, off); err != nil {
+		return err
 	}
 	if !isDead(qDisk) {
-		if _, err := s.devs[qDisk].WriteAt(qBuf, off); err != nil {
-			return fmt.Errorf("core: Q write: %w", err)
+		if err := s.devWrite(qDisk, qBuf, off); err != nil {
+			return err
 		}
 		qWritten = true
+	} else if err := mirror(qDisk, qBuf, off); err != nil {
+		return err
 	}
 	// The stripe is fully fresh only if both live parities were
 	// rewritten; a dead parity disk gets its copy at repair time.
@@ -341,9 +358,12 @@ func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasD
 	return nil
 }
 
-// rebuildParity6 is the scrubber's RAID 6 path: recompute the deferred
-// parities from the data units. Caller holds the stripe lock; no disks
-// are dead (the scrubber checks).
+// rebuildParity6 is the scrubber's RAID 6 path: recompute the parities
+// from the data units. Caller holds the stripe lock; no disks are dead
+// (the scrubber checks). Both parities are always rewritten, even when
+// only Q is deferred: a marked stripe may carry a *torn* synchronous P
+// from a write interrupted by a crash, and unmarking it with that stale
+// P in place would plant latent corruption.
 func (s *Store) rebuildParity6(stripe int64) error {
 	unit := s.geo.StripeUnit
 	off := s.geo.DiskOffset(stripe)
@@ -351,20 +371,18 @@ func (s *Store) rebuildParity6(stripe int64) error {
 	for i := range units {
 		units[i] = make([]byte, unit)
 		d := s.geo.DataDisk(stripe, i)
-		if _, err := s.devs[d].ReadAt(units[i], off); err != nil {
-			return fmt.Errorf("core: scrub read disk %d: %w", d, err)
+		if err := s.devRead(d, units[i], off); err != nil {
+			return fmt.Errorf("core: scrub: %w", err)
 		}
 	}
 	pBuf := make([]byte, unit)
 	qBuf := make([]byte, unit)
 	parity.ComputePQ(pBuf, qBuf, units...)
-	if s.opts.DeferBothParities {
-		if _, err := s.devs[s.geo.ParityDisk(stripe)].WriteAt(pBuf, off); err != nil {
-			return fmt.Errorf("core: scrub P write: %w", err)
-		}
+	if err := s.devWrite(s.geo.ParityDisk(stripe), pBuf, off); err != nil {
+		return fmt.Errorf("core: scrub: %w", err)
 	}
-	if _, err := s.devs[s.geo.QDisk(stripe)].WriteAt(qBuf, off); err != nil {
-		return fmt.Errorf("core: scrub Q write: %w", err)
+	if err := s.devWrite(s.geo.QDisk(stripe), qBuf, off); err != nil {
+		return fmt.Errorf("core: scrub: %w", err)
 	}
 	return nil
 }

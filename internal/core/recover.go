@@ -7,9 +7,18 @@ import (
 	"afraid/internal/parity"
 )
 
+// Failer is implemented by devices that can be switched into a
+// fail-stop state (MemDevice, fault-injection wrappers). FailDisk uses
+// it to make the device itself start erroring, not just the store's
+// bookkeeping.
+type Failer interface {
+	Fail()
+}
+
 // FailDisk injects a fail-stop failure of disk i. Subsequent reads of
 // its units are served degraded (for clean stripes) and writes maintain
-// parity synchronously. Only one failure can be outstanding.
+// parity synchronously. Only one failure can be outstanding (two on
+// RAID 6 layouts).
 func (s *Store) FailDisk(i int) error {
 	if i < 0 || i >= len(s.devs) {
 		return fmt.Errorf("core: disk %d out of range", i)
@@ -28,7 +37,7 @@ func (s *Store) FailDisk(i int) error {
 	default:
 		return ErrTooManyFailures
 	}
-	if f, ok := s.devs[i].(*MemDevice); ok {
+	if f, ok := s.devs[i].(Failer); ok {
 		f.Fail()
 	}
 	return nil
@@ -90,8 +99,21 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 		s.meta.Unlock()
 		return report, fmt.Errorf("core: disk %d is not a failed disk", i)
 	}
+	if s.repDisk >= 0 {
+		s.meta.Unlock()
+		return report, fmt.Errorf("core: repair of disk %d already in progress", s.repDisk)
+	}
+	// Publish the sweep so concurrent degraded writes mirror already-
+	// repaired stripes onto the replacement (see repairTarget).
+	s.repDisk, s.repDev, s.repCursor = i, replacement, 0
 	mode := s.opts.Mode
 	s.meta.Unlock()
+
+	clearRepair := func() {
+		s.meta.Lock()
+		s.repDisk, s.repDev, s.repCursor = -1, nil, 0
+		s.meta.Unlock()
+	}
 
 	unit := s.geo.StripeUnit
 	for stripe := int64(0); stripe < s.geo.Stripes(); stripe++ {
@@ -103,12 +125,30 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 		} else {
 			err = s.repairStripe(stripe, i, replacement, unit, mode, &report)
 		}
+		if err == nil {
+			// Advance the cursor while still holding the stripe lock, so
+			// a writer acquiring it next observes cursor > stripe and
+			// mirrors its update onto the replacement.
+			s.meta.Lock()
+			s.repCursor = stripe + 1
+			s.meta.Unlock()
+		}
 		lk.Unlock()
 		if err != nil {
+			clearRepair()
 			return report, err
 		}
 	}
 
+	// Swap under a full stripe-lock barrier. An in-flight degraded span
+	// snapshots the dead set at entry; if the swap overlapped such a
+	// span, its update could fall between the mirror path (repair no
+	// longer published) and the normal path (swap not yet observed) and
+	// be lost. Holding every lock in the pool drains in-flight spans
+	// first; new ones then see the healthy array.
+	for k := range s.locks {
+		s.locks[k].Lock()
+	}
 	s.meta.Lock()
 	s.devs[i] = replacement
 	if s.dead == i {
@@ -116,10 +156,14 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 	} else {
 		s.dead2 = -1
 	}
+	s.repDisk, s.repDev, s.repCursor = -1, nil, 0
 	s.stats.DamagedStripes += uint64(len(report.Lost))
 	s.stats.DamageBytes += report.Bytes()
 	err := s.persistMarks()
 	s.meta.Unlock()
+	for k := range s.locks {
+		s.locks[k].Unlock()
+	}
 	return report, err
 }
 
@@ -174,7 +218,7 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 		}
 		pDisk := s.geo.ParityDisk(stripe)
 		par := make([]byte, unit)
-		if _, err := s.devs[pDisk].ReadAt(par, off); err != nil {
+		if err := s.devRead(pDisk, par, off); err != nil {
 			return err
 		}
 		lost := make([]byte, unit)
@@ -201,8 +245,7 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 		all = append(all, zero)
 		par := make([]byte, unit)
 		parity.Compute(par, all...)
-		pDisk := s.geo.ParityDisk(stripe)
-		if _, err := s.devs[pDisk].WriteAt(par, off); err != nil {
+		if err := s.devWrite(s.geo.ParityDisk(stripe), par, off); err != nil {
 			return err
 		}
 		s.clearMark(stripe)
@@ -226,8 +269,8 @@ func (s *Store) readDataUnits(stripe int64, dead int) ([][]byte, error) {
 			continue
 		}
 		buf := make([]byte, unit)
-		if _, err := s.devs[d].ReadAt(buf, off); err != nil {
-			return nil, fmt.Errorf("core: disk %d read during repair: %w", d, err)
+		if err := s.devRead(d, buf, off); err != nil {
+			return nil, fmt.Errorf("core: repair: %w", err)
 		}
 		units = append(units, buf)
 	}

@@ -180,6 +180,12 @@ func (s *Store) scrubOne(forced bool, gen *uint64) (bool, error) {
 		rerr = s.rebuildParity(stripe)
 	}
 	if rerr != nil {
+		if s.absorbFailure(rerr) {
+			// A member failed mid-rebuild: the store is now degraded and
+			// scrubbing pauses until RepairDisk (the check at the top of
+			// this function). The stripe keeps its mark.
+			return false, nil
+		}
 		return false, rerr
 	}
 
@@ -204,17 +210,16 @@ func (s *Store) rebuildParity(stripe int64) error {
 	for i := range units {
 		units[i] = make([]byte, unit)
 		d := s.geo.DataDisk(stripe, i)
-		if _, err := s.devs[d].ReadAt(units[i], off); err != nil {
-			return fmt.Errorf("core: scrub read disk %d: %w", d, err)
+		if err := s.devRead(d, units[i], off); err != nil {
+			return fmt.Errorf("core: scrub: %w", err)
 		}
 	}
 	par := make([]byte, unit)
 	pt := time.Now()
 	parity.Compute(par, units...)
 	s.observeParity(pt)
-	pDisk := s.geo.ParityDisk(stripe)
-	if _, err := s.devs[pDisk].WriteAt(par, off); err != nil {
-		return fmt.Errorf("core: scrub parity write: %w", err)
+	if err := s.devWrite(s.geo.ParityDisk(stripe), par, off); err != nil {
+		return fmt.Errorf("core: scrub: %w", err)
 	}
 	return nil
 }

@@ -145,6 +145,15 @@ type Store struct {
 	stats    Stats
 	scrubGen uint64 // bumped on foreground I/O to preempt scrub runs
 
+	// In-progress repair (RepairDisk): stripes below repCursor have
+	// already been rebuilt onto repDev, so degraded foreground writes
+	// must mirror the dead disk's unit there or the replacement would
+	// hold stale data when it is swapped in. repDisk is -1 when no
+	// repair is running.
+	repDisk   int
+	repDev    BlockDevice
+	repCursor int64
+
 	locks [64]sync.Mutex // stripe lock pool (stripe % 64)
 
 	ob   *storeObs
@@ -194,20 +203,24 @@ func Open(devs []BlockDevice, nv NVRAM, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		geo:    geo,
-		devs:   devs,
-		opts:   opts,
-		nv:     nv,
-		dead:   -1,
-		dead2:  -1,
-		lastIO: time.Now(),
-		ob:     newStoreObs(),
-		kick:   make(chan struct{}, 1),
-		stop:   make(chan struct{}),
-		policy: make([]StripePolicy, geo.Stripes()),
+		geo:     geo,
+		devs:    devs,
+		opts:    opts,
+		nv:      nv,
+		dead:    -1,
+		dead2:   -1,
+		repDisk: -1,
+		lastIO:  time.Now(),
+		ob:      newStoreObs(),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		policy:  make([]StripePolicy, geo.Stripes()),
 	}
 	// Probe the members: a disk that failed before a crash is still
 	// failed after reopen, and the store must know before issuing I/O.
+	// Any probe error counts — an unreadable member is a failed member,
+	// whether it reports a bare ErrDeviceFailed, a wrapped one from a
+	// fault-injection layer, or a real I/O error.
 	probe := make([]byte, 1)
 	for i, d := range devs {
 		if _, err := d.ReadAt(probe, 0); err == nil {
@@ -310,6 +323,30 @@ func (s *Store) DirtyStripes() int64 {
 	return s.marks.Count()
 }
 
+// DeadDisks returns the indices of the currently failed member disks,
+// in failure order. Empty when the array is healthy.
+func (s *Store) DeadDisks() []int {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	var out []int
+	if s.dead >= 0 {
+		out = append(out, s.dead)
+	}
+	if s.dead2 >= 0 {
+		out = append(out, s.dead2)
+	}
+	return out
+}
+
+// DirtyList returns the stripes currently marked unredundant — the
+// paper's exposure set, enumerated. A crash harness samples it at
+// failure time to bound which stripes may legally lose data.
+func (s *Store) DirtyList() []int64 {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	return s.marks.Marked()
+}
+
 // Stats returns a snapshot of activity counters.
 func (s *Store) Stats() Stats {
 	s.meta.Lock()
@@ -408,10 +445,20 @@ func (s *Store) ReadContext(ctx context.Context, p []byte, off int64) (int, erro
 		lk.Lock()
 		t1 := time.Now()
 		var err error
-		if s.geo.Level == layout.RAID6 {
-			err = s.readSpan6(p, off, sp)
-		} else {
-			err = s.readSpan(p, off, sp)
+		for tries := 0; ; tries++ {
+			if s.geo.Level == layout.RAID6 {
+				err = s.readSpan6(p, off, sp)
+			} else {
+				err = s.readSpan(p, off, sp)
+			}
+			// A member reporting fail-stop failure mid-span moves the
+			// store to degraded mode; retry the span, now reconstructing
+			// around the dead disk. absorbFailure refuses once the
+			// redundancy is exhausted; the tries bound guards against a
+			// span that keeps tripping on an already-absorbed member.
+			if err == nil || tries >= len(s.devs) || !s.absorbFailure(err) {
+				break
+			}
 		}
 		lk.Unlock()
 		t2 := time.Now()
@@ -444,8 +491,8 @@ func (s *Store) readSpan(p []byte, base int64, sp layout.StripeSpan) error {
 	for _, e := range sp.Extents {
 		dst := p[e.ArrOff-base : e.ArrOff-base+e.Len]
 		if e.Disk != dead {
-			if _, err := s.devs[e.Disk].ReadAt(dst, e.DiskOff); err != nil {
-				return fmt.Errorf("core: disk %d read: %w", e.Disk, err)
+			if err := s.devRead(e.Disk, dst, e.DiskOff); err != nil {
+				return err
 			}
 			continue
 		}
@@ -470,8 +517,8 @@ func (s *Store) degradedReadExtent(dst []byte, stripe int64, e layout.Extent) er
 	n := int64(len(dst))
 	pDisk := s.geo.ParityDisk(stripe)
 	buf := make([]byte, n)
-	if _, err := s.devs[pDisk].ReadAt(buf, s.geo.DiskOffset(stripe)+unitOff); err != nil {
-		return fmt.Errorf("core: parity read during reconstruction: %w", err)
+	if err := s.devRead(pDisk, buf, s.geo.DiskOffset(stripe)+unitOff); err != nil {
+		return err
 	}
 	acc := buf
 	tmp := make([]byte, n)
@@ -480,8 +527,8 @@ func (s *Store) degradedReadExtent(dst []byte, stripe int64, e layout.Extent) er
 			continue
 		}
 		d := s.geo.DataDisk(stripe, i)
-		if _, err := s.devs[d].ReadAt(tmp, s.geo.DiskOffset(stripe)+unitOff); err != nil {
-			return fmt.Errorf("core: disk %d read during reconstruction: %w", d, err)
+		if err := s.devRead(d, tmp, s.geo.DiskOffset(stripe)+unitOff); err != nil {
+			return err
 		}
 		parity.XOR(acc, tmp)
 	}
@@ -519,10 +566,17 @@ func (s *Store) WriteContext(ctx context.Context, p []byte, off int64) (int, err
 		lk.Lock()
 		t1 := time.Now()
 		var err error
-		if s.geo.Level == layout.RAID6 {
-			err = s.writeSpan6(p, off, sp)
-		} else {
-			err = s.writeSpan(p, off, sp)
+		for tries := 0; ; tries++ {
+			if s.geo.Level == layout.RAID6 {
+				err = s.writeSpan6(p, off, sp)
+			} else {
+				err = s.writeSpan(p, off, sp)
+			}
+			// See ReadContext: absorb a fail-stop member and retry the
+			// span under the synchronous degraded write protocol.
+			if err == nil || tries >= len(s.devs) || !s.absorbFailure(err) {
+				break
+			}
 		}
 		lk.Unlock()
 		t2 := time.Now()
@@ -580,8 +634,8 @@ func (s *Store) writeSpanData(p []byte, base int64, sp layout.StripeSpan, dead i
 			return fmt.Errorf("%w: stripe %d", ErrDataLoss, sp.Stripe)
 		}
 		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
-		if _, err := s.devs[e.Disk].WriteAt(src, e.DiskOff); err != nil {
-			return fmt.Errorf("core: disk %d write: %w", e.Disk, err)
+		if err := s.devWrite(e.Disk, src, e.DiskOff); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -595,22 +649,22 @@ func (s *Store) writeSpanRaid5(p []byte, base int64, sp layout.StripeSpan) error
 	for _, e := range sp.Extents {
 		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
 		old := make([]byte, e.Len)
-		if _, err := s.devs[e.Disk].ReadAt(old, e.DiskOff); err != nil {
-			return fmt.Errorf("core: old data read: %w", err)
+		if err := s.devRead(e.Disk, old, e.DiskOff); err != nil {
+			return err
 		}
 		par := make([]byte, e.Len)
 		pOff := s.geo.DiskOffset(stripe) + e.UnitOff
-		if _, err := s.devs[pDisk].ReadAt(par, pOff); err != nil {
-			return fmt.Errorf("core: old parity read: %w", err)
+		if err := s.devRead(pDisk, par, pOff); err != nil {
+			return err
 		}
 		pt := time.Now()
 		parity.Update(par, old, src)
 		s.observeParity(pt)
-		if _, err := s.devs[e.Disk].WriteAt(src, e.DiskOff); err != nil {
-			return fmt.Errorf("core: data write: %w", err)
+		if err := s.devWrite(e.Disk, src, e.DiskOff); err != nil {
+			return err
 		}
-		if _, err := s.devs[pDisk].WriteAt(par, pOff); err != nil {
-			return fmt.Errorf("core: parity write: %w", err)
+		if err := s.devWrite(pDisk, par, pOff); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -653,8 +707,8 @@ func (s *Store) loadStripeImage(stripe int64, dead int, dirty bool) ([][]byte, e
 			deadIdx = i
 			continue
 		}
-		if _, err := s.devs[d].ReadAt(units[i], off); err != nil {
-			return nil, fmt.Errorf("core: disk %d read: %w", d, err)
+		if err := s.devRead(d, units[i], off); err != nil {
+			return nil, err
 		}
 	}
 	if deadIdx >= 0 {
@@ -666,8 +720,8 @@ func (s *Store) loadStripeImage(stripe int64, dead int, dirty bool) ([][]byte, e
 		if pDisk == dead {
 			return nil, fmt.Errorf("core: internal: dead disk is both data and parity")
 		}
-		if _, err := s.devs[pDisk].ReadAt(par, off); err != nil {
-			return nil, fmt.Errorf("core: parity read: %w", err)
+		if err := s.devRead(pDisk, par, off); err != nil {
+			return nil, err
 		}
 		survivors := make([][]byte, 0, len(units)-1)
 		for i, u := range units {
@@ -681,35 +735,68 @@ func (s *Store) loadStripeImage(stripe int64, dead int, dirty bool) ([][]byte, e
 }
 
 // storeStripeImage writes back a full stripe image (data plus parity),
-// skipping the dead disk's unit; parity then encodes it.
+// skipping the dead disk's unit; parity then encodes it. When a repair
+// sweep has already rebuilt this stripe onto an in-progress replacement,
+// the dead disk's unit is mirrored there too, so the replacement does
+// not hold stale data when RepairDisk swaps it in.
 func (s *Store) storeStripeImage(stripe int64, units [][]byte, dead int, wasDirty bool) error {
 	unit := s.geo.StripeUnit
 	off := s.geo.DiskOffset(stripe)
+	rd := s.repairTarget(stripe, dead)
 	for i, u := range units {
 		d := s.geo.DataDisk(stripe, i)
 		if d == dead {
+			if rd != nil {
+				if _, err := rd.WriteAt(u, off); err != nil {
+					return fmt.Errorf("core: repair mirror write: %w", err)
+				}
+			}
 			continue
 		}
-		if _, err := s.devs[d].WriteAt(u, off); err != nil {
-			return fmt.Errorf("core: disk %d write: %w", d, err)
+		if err := s.devWrite(d, u, off); err != nil {
+			return err
 		}
 	}
 	pDisk := s.geo.ParityDisk(stripe)
-	if pDisk != dead {
-		par := make([]byte, unit)
-		parity.Compute(par, units...)
-		if _, err := s.devs[pDisk].WriteAt(par, off); err != nil {
-			return fmt.Errorf("core: parity write: %w", err)
-		}
-		if wasDirty {
-			s.meta.Lock()
-			s.marks.Unmark(stripe)
-			err := s.persistMarks()
-			s.meta.Unlock()
-			if err != nil {
-				return err
+	par := make([]byte, unit)
+	parity.Compute(par, units...)
+	if pDisk == dead {
+		if rd != nil {
+			if _, err := rd.WriteAt(par, off); err != nil {
+				return fmt.Errorf("core: repair mirror parity write: %w", err)
 			}
 		}
+		return nil
+	}
+	if err := s.devWrite(pDisk, par, off); err != nil {
+		return err
+	}
+	if wasDirty {
+		s.meta.Lock()
+		s.marks.Unmark(stripe)
+		err := s.persistMarks()
+		s.meta.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairTarget returns the replacement device a degraded write to the
+// stripe must mirror disk d's unit onto: non-nil exactly when RepairDisk
+// is rebuilding disk d and its sweep has already passed this stripe.
+// The answer cannot go stale within the span: the sweep advances the
+// cursor past a stripe only while holding that stripe's lock, which the
+// caller already holds.
+func (s *Store) repairTarget(stripe int64, d int) BlockDevice {
+	if d < 0 {
+		return nil
+	}
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	if s.repDisk == d && stripe < s.repCursor {
+		return s.repDev
 	}
 	return nil
 }

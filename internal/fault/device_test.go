@@ -1,0 +1,228 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"afraid/internal/core"
+)
+
+func TestTriggersDeterministic(t *testing.T) {
+	fire := func(seed int64) []uint64 {
+		d := New(core.NewMemDevice(4096), seed)
+		d.AddRule(Rule{When: All(Writes(), Prob(0.3)), Do: Transient(nil)})
+		var hits []uint64
+		buf := make([]byte, 16)
+		for i := 0; i < 100; i++ {
+			if _, err := d.WriteAt(buf, 0); err != nil {
+				hits = append(hits, uint64(i))
+			}
+		}
+		return hits
+	}
+	a, b := fire(42), fire(42)
+	if len(a) == 0 {
+		t.Fatal("Prob(0.3) never fired in 100 writes")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAfterEveryInRange(t *testing.T) {
+	d := New(core.NewMemDevice(4096), 1)
+	d.AddRule(Rule{When: All(Writes(), After(3)), Do: Transient(nil), Max: 1})
+	buf := make([]byte, 8)
+	for i := 1; i <= 3; i++ {
+		if _, err := d.WriteAt(buf, 0); err != nil {
+			t.Fatalf("write %d failed before After(3): %v", i, err)
+		}
+	}
+	if _, err := d.WriteAt(buf, 0); err == nil {
+		t.Fatal("4th write should trip After(3)")
+	}
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("Max:1 rule fired twice: %v", err)
+	}
+
+	d2 := New(core.NewMemDevice(4096), 1)
+	d2.AddRule(Rule{When: InRange(100, 50), Do: Transient(nil)})
+	if _, err := d2.WriteAt(buf, 0); err != nil {
+		t.Fatalf("write outside range: %v", err)
+	}
+	if _, err := d2.WriteAt(buf, 145); err == nil {
+		t.Fatal("write overlapping [100,150) should fail")
+	}
+	if _, err := d2.ReadAt(buf, 120); err == nil {
+		t.Fatal("read inside [100,150) should fail")
+	}
+}
+
+func TestTransientWrapsDeviceFailed(t *testing.T) {
+	if !errors.Is(ErrInjected, core.ErrDeviceFailed) {
+		t.Fatal("ErrInjected must wrap core.ErrDeviceFailed")
+	}
+	if errors.Is(ErrPowerCut, core.ErrDeviceFailed) {
+		t.Fatal("ErrPowerCut must NOT wrap core.ErrDeviceFailed (a power cut is not a disk failure)")
+	}
+	if errors.Is(ErrTorn, core.ErrDeviceFailed) {
+		t.Fatal("ErrTorn must NOT wrap core.ErrDeviceFailed")
+	}
+}
+
+func TestFailStopAndHeal(t *testing.T) {
+	d := New(core.NewMemDevice(4096), 7)
+	d.AddRule(Rule{When: After(2), Do: FailStop(), Max: 1})
+	buf := make([]byte, 8)
+	d.WriteAt(buf, 0)
+	d.WriteAt(buf, 0)
+	if _, err := d.WriteAt(buf, 0); !errors.Is(err, core.ErrDeviceFailed) {
+		t.Fatalf("expected fail-stop, got %v", err)
+	}
+	if !d.Failed() {
+		t.Fatal("device should report failed")
+	}
+	if _, err := d.ReadAt(buf, 0); !errors.Is(err, core.ErrDeviceFailed) {
+		t.Fatalf("failed device must reject reads, got %v", err)
+	}
+	d.Heal()
+	if _, err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("healed device errored: %v", err)
+	}
+}
+
+func TestTornWritePersistsPrefixOnly(t *testing.T) {
+	mem := core.NewMemDevice(4096)
+	d := New(mem, 3)
+	d.AddRule(Rule{When: Every(1), Do: TornWrite(), Max: 1})
+	p := bytes.Repeat([]byte{0xAA}, 256)
+	if _, err := d.WriteAt(p, 0); !errors.Is(err, ErrTorn) {
+		t.Fatalf("expected ErrTorn, got %v", err)
+	}
+	got := make([]byte, 256)
+	if _, err := mem.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for n < 256 && got[n] == 0xAA {
+		n++
+	}
+	if n == 256 {
+		t.Fatal("torn write persisted the full buffer")
+	}
+	for _, b := range got[n:] {
+		if b != 0 {
+			t.Fatal("torn write left non-prefix bytes")
+		}
+	}
+}
+
+func TestFlipBitSilentCorruption(t *testing.T) {
+	mem := core.NewMemDevice(4096)
+	d := New(mem, 9)
+	d.AddRule(Rule{Do: FlipBit(), Max: 1})
+	p := bytes.Repeat([]byte{0x55}, 64)
+	if _, err := d.WriteAt(p, 0); err != nil {
+		t.Fatalf("FlipBit must not error: %v", err)
+	}
+	got := make([]byte, 64)
+	mem.ReadAt(got, 0)
+	diff := 0
+	for i := range got {
+		diff += popcount(got[i] ^ p[i])
+	}
+	if diff != 1 {
+		t.Fatalf("expected exactly 1 flipped bit, got %d", diff)
+	}
+	if d.Stats().FlipBits != 1 {
+		t.Fatalf("stats: %+v", d.Stats())
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestPowerLineFuse(t *testing.T) {
+	mem := core.NewMemDevice(4096)
+	line := NewPowerLine()
+	d := New(mem, 11).OnLine(line)
+	line.CutAfter(3)
+	p := bytes.Repeat([]byte{0xFF}, 128)
+	for i := 0; i < 2; i++ {
+		if _, err := d.WriteAt(p, int64(i)*128); err != nil {
+			t.Fatalf("write %d before fuse: %v", i, err)
+		}
+	}
+	if _, err := d.WriteAt(p, 256); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("3rd write should blow the fuse, got %v", err)
+	}
+	if !line.IsCut() {
+		t.Fatal("line should be cut")
+	}
+	// The victim write landed at most a strict prefix.
+	got := make([]byte, 128)
+	mem.ReadAt(got, 256)
+	n := 0
+	for n < 128 && got[n] == 0xFF {
+		n++
+	}
+	if n == 128 {
+		t.Fatal("fused write persisted fully")
+	}
+	// Reads and writes reject until restore.
+	if _, err := d.ReadAt(got, 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("read on cut line: %v", err)
+	}
+	line.Restore()
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("read after restore: %v", err)
+	}
+	if got[0] != 0xFF {
+		t.Fatal("pre-cut write lost")
+	}
+}
+
+// TestStoreAbsorbsInjectedTransient is the satellite-1 regression: a
+// transient error wrapping core.ErrDeviceFailed (not equal to it) must
+// move the store to degraded mode via errors.Is, and the interrupted
+// write must be retried and acknowledged.
+func TestStoreAbsorbsInjectedTransient(t *testing.T) {
+	backings := make([]core.BlockDevice, 4)
+	for i := range backings {
+		backings[i] = core.NewMemDevice(16 << 10)
+	}
+	devs := Wrap(backings, 21)
+	devs[2].AddRule(Rule{When: Writes(), Do: Transient(nil), Max: 1})
+	st, err := core.Open(Devices(devs), &core.MemNVRAM{}, core.Options{Mode: core.Raid5, StripeUnit: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	p := bytes.Repeat([]byte{0x7}, 4096)
+	if _, err := st.WriteAt(p, 0); err != nil {
+		t.Fatalf("write over transient fault should be absorbed and retried: %v", err)
+	}
+	dead := st.DeadDisks()
+	if len(dead) != 1 || dead[0] != 2 {
+		t.Fatalf("store should have absorbed disk 2, dead=%v", dead)
+	}
+	got := make([]byte, 4096)
+	if _, err := st.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("acknowledged write diverged after degraded retry")
+	}
+}

@@ -1,0 +1,35 @@
+package fault
+
+import "sync"
+
+// LostNVRAM models the paper's marking-memory failure (§4 "loss of the
+// NVRAM"): Load returns an image the store cannot deserialize, forcing
+// the documented recovery procedure — mark every stripe and rebuild
+// parity for the whole array. Store works normally afterwards, so the
+// recovered store can persist its new map.
+type LostNVRAM struct {
+	mu  sync.Mutex
+	img []byte
+}
+
+// NewLostNVRAM returns an NVRAM holding a corrupt image.
+func NewLostNVRAM() *LostNVRAM {
+	return &LostNVRAM{img: []byte("corrupt marking memory")}
+}
+
+// Load returns the current (initially corrupt) image.
+func (n *LostNVRAM) Load() ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]byte, len(n.img))
+	copy(out, n.img)
+	return out, nil
+}
+
+// Store replaces the image.
+func (n *LostNVRAM) Store(img []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.img = append(n.img[:0:0], img...)
+	return nil
+}

@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrPowerCut is returned by devices on a cut power line. It
+// deliberately does NOT wrap core.ErrDeviceFailed: losing power is a
+// whole-machine event, and the store must surface it to the caller
+// rather than absorb it as a cascade of member-disk failures.
+var ErrPowerCut = errors.New("fault: power cut")
+
+// PowerLine models the machine's power supply, shared by every device
+// wired to it (Device.OnLine). While cut, all attached devices reject
+// I/O with ErrPowerCut. CutAfter arms a fuse: the n-th subsequent
+// device write is the one "in flight" when power fails — it persists
+// only a seeded-random prefix (possibly nothing), modelling a torn
+// sector, and everything after it is rejected. Restore re-powers the
+// line; the harness then reopens the store from the surviving devices,
+// exactly like a machine rebooting after a crash.
+type PowerLine struct {
+	mu   sync.Mutex
+	cut  bool
+	fuse int64 // writes remaining until the cut; -1 disarmed
+}
+
+// NewPowerLine returns a powered line with no fuse armed.
+func NewPowerLine() *PowerLine { return &PowerLine{fuse: -1} }
+
+// Cut fails the power immediately. Writes already persisted stay;
+// everything in flight from the store's point of view is rejected.
+func (l *PowerLine) Cut() {
+	l.mu.Lock()
+	l.cut = true
+	l.fuse = -1
+	l.mu.Unlock()
+}
+
+// CutAfter arms the fuse: power fails on the n-th subsequent device
+// write (n >= 1), which lands only a torn prefix.
+func (l *PowerLine) CutAfter(n int64) {
+	l.mu.Lock()
+	if n < 1 {
+		n = 1
+	}
+	l.fuse = n - 1
+	l.mu.Unlock()
+}
+
+// IsCut reports whether the line is currently cut.
+func (l *PowerLine) IsCut() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cut
+}
+
+// Restore re-powers the line and disarms any fuse.
+func (l *PowerLine) Restore() {
+	l.mu.Lock()
+	l.cut = false
+	l.fuse = -1
+	l.mu.Unlock()
+}
+
+// admitWrite gates one device write of n bytes. It returns (n, true)
+// while powered. At the fuse it cuts the line and returns a strict
+// prefix length with ok=false: the caller persists that prefix and
+// reports failure. After the cut it returns (0, false).
+func (l *PowerLine) admitWrite(n int, rng *rand.Rand) (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cut {
+		return 0, false
+	}
+	if l.fuse > 0 {
+		l.fuse--
+		return n, true
+	}
+	if l.fuse == 0 {
+		l.cut = true
+		l.fuse = -1
+		if n <= 0 {
+			return 0, false
+		}
+		return rng.Intn(n), false
+	}
+	return n, true
+}

@@ -1,0 +1,86 @@
+package fault
+
+// shadow is the harness's reference model of the store's client address
+// space: the content of every acknowledged write, plus a per-byte
+// determinacy flag. A byte starts determinate-zero (fresh devices read
+// back zeros); a successful write makes its range determinate with the
+// new content; a *failed* write makes its range indeterminate — the
+// store may hold the old bytes, the new ones, or a torn mix, and the
+// stripes it covers may carry inconsistent parity (the RAID 5 write
+// hole). Those stripes are recorded as hole stripes: the only stripes,
+// beyond the dirty set, where a disk loss may legally surface garbage.
+type shadow struct {
+	data []byte
+	det  []bool
+	sdb  int64 // stripe data bytes: client bytes per stripe
+
+	holes map[int64]bool // stripes ever covered by a failed write
+}
+
+func newShadow(capacity, stripeDataBytes int64) *shadow {
+	sh := &shadow{
+		data:  make([]byte, capacity),
+		det:   make([]bool, capacity),
+		sdb:   stripeDataBytes,
+		holes: make(map[int64]bool),
+	}
+	for i := range sh.det {
+		sh.det[i] = true
+	}
+	return sh
+}
+
+// write records an acknowledged write.
+func (s *shadow) write(off int64, p []byte) {
+	copy(s.data[off:], p)
+	for i := off; i < off+int64(len(p)); i++ {
+		s.det[i] = true
+	}
+}
+
+// clobber records a failed write: the range is indeterminate and every
+// stripe it touches becomes a hole stripe.
+func (s *shadow) clobber(off, n int64) {
+	for i := off; i < off+n; i++ {
+		s.det[i] = false
+	}
+	for st := off / s.sdb; st <= (off+n-1)/s.sdb; st++ {
+		s.holes[st] = true
+	}
+}
+
+// distrust marks a range indeterminate without declaring a hole — used
+// after a repair reconstructs through possibly-stale parity.
+func (s *shadow) distrust(off, n int64) {
+	if off < 0 {
+		off = 0
+	}
+	if off+n > int64(len(s.det)) {
+		n = int64(len(s.det)) - off
+	}
+	for i := off; i < off+n; i++ {
+		s.det[i] = false
+	}
+}
+
+// zero records a repair zero-filling a damaged range: the content is
+// now determinately zero.
+func (s *shadow) zero(off, n int64) {
+	for i := off; i < off+n; i++ {
+		s.data[i] = 0
+		s.det[i] = true
+	}
+}
+
+// diff compares a stripe's read-back bytes against the model and
+// returns the offset of the first determinate mismatch, or -1.
+func (s *shadow) diff(stripe int64, got []byte) int64 {
+	base := stripe * s.sdb
+	for i, b := range got {
+		off := base + int64(i)
+		if s.det[off] && s.data[off] != b {
+			return off
+		}
+	}
+	return -1
+}
