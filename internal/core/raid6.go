@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"afraid/internal/layout"
 	"afraid/internal/parity"
@@ -37,12 +38,13 @@ func (s *Store) deadSet() []int {
 	return out
 }
 
-// materialize6 reconstructs all data units of a stripe around the dead
-// disks. It reports ok=false when the surviving fresh parities cannot
-// cover the missing units (the data-loss case). Caller holds the
-// stripe lock.
-func (s *Store) materialize6(stripe int64, dead []int, pFresh, qFresh bool) (units [][]byte, ok bool, err error) {
-	unit := s.geo.StripeUnit
+// materialize6 reconstructs all data units of a stripe into sb around
+// the dead disks, fanning the survivor reads out to the I/O workers.
+// It reports ok=false when the surviving fresh parities cannot cover
+// the missing units (the data-loss case); the missing units' buffers
+// then hold arbitrary pooled contents and must not be read. Caller
+// holds the stripe lock.
+func (s *Store) materialize6(sb *stripeBuf, stripe int64, dead []int, pFresh, qFresh bool) (ok bool, err error) {
 	off := s.geo.DiskOffset(stripe)
 	isDead := func(d int) bool {
 		for _, x := range dead {
@@ -53,21 +55,25 @@ func (s *Store) materialize6(stripe int64, dead []int, pFresh, qFresh bool) (uni
 		return false
 	}
 
-	units = make([][]byte, s.geo.DataDisks())
-	var missing []int
-	for i := range units {
-		units[i] = make([]byte, unit)
-		d := s.geo.DataDisk(stripe, i)
-		if isDead(d) {
+	skipA, skipB := -1, -1
+	if len(dead) > 0 {
+		skipA = dead[0]
+	}
+	if len(dead) > 1 {
+		skipB = dead[1]
+	}
+	if err := s.readStripeUnits(sb, stripe, skipA, skipB); err != nil {
+		return false, err
+	}
+	var missBuf [2]int
+	missing := missBuf[:0]
+	for i := range sb.units {
+		if isDead(s.geo.DataDisk(stripe, i)) {
 			missing = append(missing, i)
-			continue
-		}
-		if err := s.devRead(d, units[i], off); err != nil {
-			return nil, false, err
 		}
 	}
 	if len(missing) == 0 {
-		return units, true, nil
+		return true, nil
 	}
 
 	pDisk := s.geo.ParityDisk(stripe)
@@ -75,63 +81,45 @@ func (s *Store) materialize6(stripe int64, dead []int, pFresh, qFresh bool) (uni
 	pAvail := pFresh && !isDead(pDisk)
 	qAvail := qFresh && !isDead(qDisk)
 
-	readParity := func(d int) ([]byte, error) {
-		buf := make([]byte, unit)
-		if err := s.devRead(d, buf, off); err != nil {
-			return nil, err
-		}
-		return buf, nil
-	}
-
 	switch {
 	case len(missing) == 1 && pAvail:
-		p, err := readParity(pDisk)
-		if err != nil {
-			return nil, false, err
+		if err := s.devRead(pDisk, sb.p, off); err != nil {
+			return false, err
 		}
-		survivors := make([][]byte, 0, len(units)-1)
-		for i, u := range units {
-			if i != missing[0] {
-				survivors = append(survivors, u)
-			}
-		}
-		parity.Reconstruct(units[missing[0]], p, survivors...)
-		return units, true, nil
+		parity.Reconstruct(sb.units[missing[0]], sb.p, sb.survivors(missing[0])...)
+		return true, nil
 
 	case len(missing) == 1 && qAvail:
-		q, err := readParity(qDisk)
-		if err != nil {
-			return nil, false, err
+		if err := s.devRead(qDisk, sb.q, off); err != nil {
+			return false, err
 		}
-		surv := make(map[int][]byte, len(units)-1)
-		for i, u := range units {
+		surv := make(map[int][]byte, len(sb.units)-1)
+		for i, u := range sb.units {
 			if i != missing[0] {
 				surv[i] = u
 			}
 		}
-		parity.ReconstructOnePQ(units[missing[0]], missing[0], true, q, surv)
-		return units, true, nil
+		parity.ReconstructOnePQ(sb.units[missing[0]], missing[0], true, sb.q, surv)
+		return true, nil
 
 	case len(missing) == 2 && pAvail && qAvail:
-		p, err := readParity(pDisk)
-		if err != nil {
-			return nil, false, err
+		if err := s.devRead(pDisk, sb.p, off); err != nil {
+			return false, err
 		}
-		q, err := readParity(qDisk)
-		if err != nil {
-			return nil, false, err
+		if err := s.devRead(qDisk, sb.q, off); err != nil {
+			return false, err
 		}
-		surv := make(map[int][]byte, len(units)-2)
-		for i, u := range units {
+		surv := make(map[int][]byte, len(sb.units)-2)
+		for i, u := range sb.units {
 			if i != missing[0] && i != missing[1] {
 				surv[i] = u
 			}
 		}
-		parity.ReconstructTwoPQ(units[missing[0]], units[missing[1]],
-			missing[0], missing[1], p, q, surv)
-		return units, true, nil
+		parity.ReconstructTwoPQ(sb.units[missing[0]], sb.units[missing[1]],
+			missing[0], missing[1], sb.p, sb.q, surv)
+		return true, nil
 	}
-	return units, false, nil
+	return false, nil
 }
 
 // readSpan6 reads one stripe's extents on a RAID 6 store, using erasure
@@ -152,7 +140,12 @@ func (s *Store) readSpan6(p []byte, base int64, sp layout.StripeSpan) error {
 		return false
 	}
 
-	var units [][]byte // lazily materialized
+	var sb *stripeBuf // lazily materialized
+	defer func() {
+		if sb != nil {
+			s.putStripeBuf(sb)
+		}
+	}()
 	for _, e := range sp.Extents {
 		dst := p[e.ArrOff-base : e.ArrOff-base+e.Len]
 		if !isDead(e.Disk) {
@@ -161,10 +154,9 @@ func (s *Store) readSpan6(p []byte, base int64, sp layout.StripeSpan) error {
 			}
 			continue
 		}
-		if units == nil {
-			var ok bool
-			var err error
-			units, ok, err = s.materialize6(sp.Stripe, dead, pFresh, qFresh)
+		if sb == nil {
+			sb = s.getStripeBuf()
+			ok, err := s.materialize6(sb, sp.Stripe, dead, pFresh, qFresh)
 			if err != nil {
 				return err
 			}
@@ -175,7 +167,7 @@ func (s *Store) readSpan6(p []byte, base int64, sp layout.StripeSpan) error {
 			s.stats.DegradedReads++
 			s.meta.Unlock()
 		}
-		copy(dst, units[e.DataIdx][e.UnitOff:e.UnitOff+e.Len])
+		copy(dst, sb.units[e.DataIdx][e.UnitOff:e.UnitOff+e.Len])
 	}
 	return nil
 }
@@ -228,41 +220,67 @@ func (s *Store) markStripe(stripe int64) error {
 // included parities: read old data (and old P/Q ranges), delta-update,
 // write data and parities.
 func (s *Store) writeSpanSync6(p []byte, base int64, sp layout.StripeSpan, withP, withQ bool) error {
-	stripe := sp.Stripe
-	pDisk := s.geo.ParityDisk(stripe)
-	qDisk := s.geo.QDisk(stripe)
 	for _, e := range sp.Extents {
 		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
-		old := make([]byte, e.Len)
-		if err := s.devRead(e.Disk, old, e.DiskOff); err != nil {
-			return err
-		}
-		rangeOff := s.geo.DiskOffset(stripe) + e.UnitOff
-		if withP {
-			par := make([]byte, e.Len)
-			if err := s.devRead(pDisk, par, rangeOff); err != nil {
-				return err
-			}
-			parity.Update(par, old, src)
-			if err := s.devWrite(pDisk, par, rangeOff); err != nil {
-				return err
-			}
-		}
-		if withQ {
-			q := make([]byte, e.Len)
-			if err := s.devRead(qDisk, q, rangeOff); err != nil {
-				return err
-			}
-			parity.UpdateQ(q, old, src, e.DataIdx)
-			if err := s.devWrite(qDisk, q, rangeOff); err != nil {
-				return err
-			}
-		}
-		if err := s.devWrite(e.Disk, src, e.DiskOff); err != nil {
+		if err := s.rmwExtent6(sp.Stripe, e, src, withP, withQ); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// rmwExtent6 is one extent's double-parity read-modify-write. The old
+// data, old P, and old Q ranges live on three different disks; two
+// reads go to the I/O workers while this goroutine does the third, and
+// all scratch comes from the stripe-buffer pool.
+func (s *Store) rmwExtent6(stripe int64, e layout.Extent, src []byte, withP, withQ bool) error {
+	pDisk := s.geo.ParityDisk(stripe)
+	qDisk := s.geo.QDisk(stripe)
+	rangeOff := s.geo.DiskOffset(stripe) + e.UnitOff
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	sb.errs[0], sb.errs[1] = nil, nil
+	old := sb.units[0][:e.Len]
+	s.devReadAsync(e.Disk, old, e.DiskOff, &sb.errs[0], &sb.wg)
+	var par, q []byte
+	if withP {
+		par = sb.p[:e.Len]
+		s.devReadAsync(pDisk, par, rangeOff, &sb.errs[1], &sb.wg)
+	}
+	var qerr error
+	if withQ {
+		q = sb.q[:e.Len]
+		qerr = s.devRead(qDisk, q, rangeOff)
+	}
+	sb.wg.Wait()
+	if sb.errs[0] != nil {
+		return sb.errs[0]
+	}
+	if sb.errs[1] != nil {
+		return sb.errs[1]
+	}
+	if qerr != nil {
+		return qerr
+	}
+	pt := time.Now()
+	if withP {
+		parity.Update(par, old, src)
+	}
+	if withQ {
+		parity.UpdateQ(q, old, src, e.DataIdx)
+	}
+	s.observeParity(pt)
+	if withP {
+		if err := s.devWrite(pDisk, par, rangeOff); err != nil {
+			return err
+		}
+	}
+	if withQ {
+		if err := s.devWrite(qDisk, q, rangeOff); err != nil {
+			return err
+		}
+	}
+	return s.devWrite(e.Disk, src, e.DiskOff)
 }
 
 // writeSpanDegraded6 rewrites the stripe image around failed disks,
@@ -275,7 +293,9 @@ func (s *Store) writeSpanDegraded6(p []byte, base int64, sp layout.StripeSpan, d
 	s.meta.Unlock()
 	pFresh, qFresh := s.parityFresh(dirty)
 
-	units, ok, err := s.materialize6(stripe, dead, pFresh, qFresh)
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	ok, err := s.materialize6(sb, stripe, dead, pFresh, qFresh)
 	if err != nil {
 		return err
 	}
@@ -284,9 +304,9 @@ func (s *Store) writeSpanDegraded6(p []byte, base int64, sp layout.StripeSpan, d
 	}
 	for _, e := range sp.Extents {
 		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
-		copy(units[e.DataIdx][e.UnitOff:], src)
+		copy(sb.units[e.DataIdx][e.UnitOff:], src)
 	}
-	return s.storeStripeImage6(stripe, units, dead, dirty)
+	return s.storeStripeImage6(stripe, sb, dead, dirty)
 }
 
 // storeStripeImage6 writes back data and recomputed parities to every
@@ -294,7 +314,7 @@ func (s *Store) writeSpanDegraded6(p []byte, base int64, sp layout.StripeSpan, d
 // redundant and is unmarked. A dead disk's unit (data, P, or Q) is
 // mirrored onto an in-progress replacement once the repair sweep has
 // passed this stripe — see storeStripeImage.
-func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasDirty bool) error {
+func (s *Store) storeStripeImage6(stripe int64, sb *stripeBuf, dead []int, wasDirty bool) error {
 	isDead := func(d int) bool {
 		for _, x := range dead {
 			if x == d {
@@ -312,7 +332,7 @@ func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasD
 		return nil
 	}
 	off := s.geo.DiskOffset(stripe)
-	for i, u := range units {
+	for i, u := range sb.units {
 		d := s.geo.DataDisk(stripe, i)
 		if isDead(d) {
 			if err := mirror(d, u, off); err != nil {
@@ -324,26 +344,26 @@ func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasD
 			return err
 		}
 	}
-	pBuf := make([]byte, s.geo.StripeUnit)
-	qBuf := make([]byte, s.geo.StripeUnit)
-	parity.ComputePQ(pBuf, qBuf, units...)
+	pt := time.Now()
+	parity.ComputePQ(sb.p, sb.q, sb.units...)
+	s.observeParity(pt)
 	pDisk := s.geo.ParityDisk(stripe)
 	qDisk := s.geo.QDisk(stripe)
 	pWritten, qWritten := false, false
 	if !isDead(pDisk) {
-		if err := s.devWrite(pDisk, pBuf, off); err != nil {
+		if err := s.devWrite(pDisk, sb.p, off); err != nil {
 			return err
 		}
 		pWritten = true
-	} else if err := mirror(pDisk, pBuf, off); err != nil {
+	} else if err := mirror(pDisk, sb.p, off); err != nil {
 		return err
 	}
 	if !isDead(qDisk) {
-		if err := s.devWrite(qDisk, qBuf, off); err != nil {
+		if err := s.devWrite(qDisk, sb.q, off); err != nil {
 			return err
 		}
 		qWritten = true
-	} else if err := mirror(qDisk, qBuf, off); err != nil {
+	} else if err := mirror(qDisk, sb.q, off); err != nil {
 		return err
 	}
 	// The stripe is fully fresh only if both live parities were
@@ -365,62 +385,41 @@ func (s *Store) storeStripeImage6(stripe int64, units [][]byte, dead []int, wasD
 // from a write interrupted by a crash, and unmarking it with that stale
 // P in place would plant latent corruption.
 func (s *Store) rebuildParity6(stripe int64) error {
-	unit := s.geo.StripeUnit
 	off := s.geo.DiskOffset(stripe)
-	units := make([][]byte, s.geo.DataDisks())
-	for i := range units {
-		units[i] = make([]byte, unit)
-		d := s.geo.DataDisk(stripe, i)
-		if err := s.devRead(d, units[i], off); err != nil {
-			return fmt.Errorf("core: scrub: %w", err)
-		}
-	}
-	pBuf := make([]byte, unit)
-	qBuf := make([]byte, unit)
-	parity.ComputePQ(pBuf, qBuf, units...)
-	if err := s.devWrite(s.geo.ParityDisk(stripe), pBuf, off); err != nil {
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	if err := s.readStripeUnits(sb, stripe, -1, -1); err != nil {
 		return fmt.Errorf("core: scrub: %w", err)
 	}
-	if err := s.devWrite(s.geo.QDisk(stripe), qBuf, off); err != nil {
+	pt := time.Now()
+	parity.ComputePQ(sb.p, sb.q, sb.units...)
+	s.observeParity(pt)
+	if err := s.devWrite(s.geo.ParityDisk(stripe), sb.p, off); err != nil {
+		return fmt.Errorf("core: scrub: %w", err)
+	}
+	if err := s.devWrite(s.geo.QDisk(stripe), sb.q, off); err != nil {
 		return fmt.Errorf("core: scrub: %w", err)
 	}
 	return nil
 }
 
-// checkParity6 verifies both parities of every stripe.
-func (s *Store) checkParity6() ([]int64, error) {
-	var bad []int64
-	unit := s.geo.StripeUnit
-	for stripe := int64(0); stripe < s.geo.Stripes(); stripe++ {
-		lk := s.stripeLock(stripe)
-		lk.Lock()
-		units := make([][]byte, s.geo.DataDisks())
-		var err error
-		for i := range units {
-			units[i] = make([]byte, unit)
-			d := s.geo.DataDisk(stripe, i)
-			if _, err = s.devs[d].ReadAt(units[i], s.geo.DiskOffset(stripe)); err != nil {
-				break
-			}
-		}
-		var pBuf, qBuf []byte
-		if err == nil {
-			pBuf = make([]byte, unit)
-			_, err = s.devs[s.geo.ParityDisk(stripe)].ReadAt(pBuf, s.geo.DiskOffset(stripe))
-		}
-		if err == nil {
-			qBuf = make([]byte, unit)
-			_, err = s.devs[s.geo.QDisk(stripe)].ReadAt(qBuf, s.geo.DiskOffset(stripe))
-		}
-		lk.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		if !parity.CheckPQ(pBuf, qBuf, units...) {
-			bad = append(bad, stripe)
-		}
+// checkStripe6 verifies one stripe's P and Q under its stripe lock.
+func (s *Store) checkStripe6(sb *stripeBuf, stripe int64) (bool, error) {
+	off := s.geo.DiskOffset(stripe)
+	lk := s.stripeLock(stripe)
+	lk.Lock()
+	err := s.readStripeUnits(sb, stripe, -1, -1)
+	if err == nil {
+		err = s.devRead(s.geo.ParityDisk(stripe), sb.p, off)
 	}
-	return bad, nil
+	if err == nil {
+		err = s.devRead(s.geo.QDisk(stripe), sb.q, off)
+	}
+	lk.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return parity.CheckPQ(sb.p, sb.q, sb.units...), nil
 }
 
 // repairStripe6 reconstructs the target disk's unit of one stripe onto
@@ -436,7 +435,9 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 	s.meta.Unlock()
 	pFresh, qFresh := s.parityFresh(dirty)
 
-	units, ok, err := s.materialize6(stripe, dead, pFresh, qFresh)
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	ok, err := s.materialize6(sb, stripe, dead, pFresh, qFresh)
 	if err != nil {
 		return err
 	}
@@ -463,17 +464,17 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 
 	if !ok {
 		// Unrecoverable stripe: every missing data unit's contents are
-		// gone for good. Zero them all in the image, report each once,
-		// write zeros to the target if it holds data, and refresh every
-		// reachable parity over the zeroed image so later repairs
-		// reconstruct zeros instead of garbage through a stale parity.
-		zero := make([]byte, unit)
+		// gone for good. Zero them all in the image (the pooled buffers
+		// hold arbitrary contents), report each once, write zeros to the
+		// target if it holds data, and refresh every reachable parity
+		// over the zeroed image so later repairs reconstruct zeros
+		// instead of garbage through a stale parity.
 		for i := 0; i < s.geo.DataDisks(); i++ {
 			d := s.geo.DataDisk(stripe, i)
 			if !isDead(d) {
 				continue
 			}
-			copy(units[i], zero) // materialize left them zeroed; be explicit
+			clear(sb.units[i])
 			report.Lost = append(report.Lost, DamagedRange{
 				Offset: stripe*s.geo.StripeDataBytes() + int64(i)*unit,
 				Length: unit,
@@ -481,22 +482,20 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 			})
 		}
 		if role == layout.Data {
-			if _, err := replacement.WriteAt(zero, off); err != nil {
+			if _, err := replacement.WriteAt(sb.units[dataIdx], off); err != nil {
 				return err
 			}
 		}
-		pBuf := make([]byte, unit)
-		qBuf := make([]byte, unit)
-		parity.ComputePQ(pBuf, qBuf, units...)
+		parity.ComputePQ(sb.p, sb.q, sb.units...)
 		pDisk, qDisk := s.geo.ParityDisk(stripe), s.geo.QDisk(stripe)
 		pOK, qOK := reachable(pDisk), reachable(qDisk)
 		if pOK {
-			if _, err := devFor(pDisk).WriteAt(pBuf, off); err != nil {
+			if _, err := devFor(pDisk).WriteAt(sb.p, off); err != nil {
 				return err
 			}
 		}
 		if qOK {
-			if _, err := devFor(qDisk).WriteAt(qBuf, off); err != nil {
+			if _, err := devFor(qDisk).WriteAt(sb.q, off); err != nil {
 				return err
 			}
 		}
@@ -510,16 +509,14 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 
 	switch role {
 	case layout.Data:
-		if _, err := replacement.WriteAt(units[dataIdx], off); err != nil {
+		if _, err := replacement.WriteAt(sb.units[dataIdx], off); err != nil {
 			return err
 		}
 	case layout.Parity, layout.ParityQ:
-		pBuf := make([]byte, unit)
-		qBuf := make([]byte, unit)
-		parity.ComputePQ(pBuf, qBuf, units...)
-		buf := pBuf
+		parity.ComputePQ(sb.p, sb.q, sb.units...)
+		buf := sb.p
 		if role == layout.ParityQ {
-			buf = qBuf
+			buf = sb.q
 		}
 		if _, err := replacement.WriteAt(buf, off); err != nil {
 			return err
@@ -530,13 +527,11 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 	// Last repair: refresh both parities and clear the mark so the
 	// array ends fully redundant.
 	if len(dead) == 1 {
-		pBuf := make([]byte, unit)
-		qBuf := make([]byte, unit)
-		parity.ComputePQ(pBuf, qBuf, units...)
-		if _, err := devFor(s.geo.ParityDisk(stripe)).WriteAt(pBuf, off); err != nil {
+		parity.ComputePQ(sb.p, sb.q, sb.units...)
+		if _, err := devFor(s.geo.ParityDisk(stripe)).WriteAt(sb.p, off); err != nil {
 			return err
 		}
-		if _, err := devFor(s.geo.QDisk(stripe)).WriteAt(qBuf, off); err != nil {
+		if _, err := devFor(s.geo.QDisk(stripe)).WriteAt(sb.q, off); err != nil {
 			return err
 		}
 		s.clearMark(stripe)

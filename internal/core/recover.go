@@ -2,8 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"afraid/internal/layout"
+	"afraid/internal/nvram"
 	"afraid/internal/parity"
 )
 
@@ -105,40 +109,87 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 	}
 	// Publish the sweep so concurrent degraded writes mirror already-
 	// repaired stripes onto the replacement (see repairTarget).
-	s.repDisk, s.repDev, s.repCursor = i, replacement, 0
+	s.repDisk, s.repDev, s.repDone = i, replacement, nvram.NewBitmap(s.geo.Stripes())
 	mode := s.opts.Mode
 	s.meta.Unlock()
 
 	clearRepair := func() {
 		s.meta.Lock()
-		s.repDisk, s.repDev, s.repCursor = -1, nil, 0
+		s.repDisk, s.repDev, s.repDone = -1, nil, nil
 		s.meta.Unlock()
 	}
 
+	// The sweep: scrub workers stride an atomic cursor, each rebuilding
+	// its stripe under that stripe's lock. Stripes complete out of
+	// order, which is why repDone is a bitmap; each worker collects its
+	// own damage list and the parts are merged and sorted afterwards.
 	unit := s.geo.StripeUnit
-	for stripe := int64(0); stripe < s.geo.Stripes(); stripe++ {
-		lk := s.stripeLock(stripe)
-		lk.Lock()
-		var err error
-		if s.geo.Level == layout.RAID6 {
-			err = s.repairStripe6(stripe, i, replacement, &report)
-		} else {
-			err = s.repairStripe(stripe, i, replacement, unit, mode, &report)
-		}
-		if err == nil {
-			// Advance the cursor while still holding the stripe lock, so
-			// a writer acquiring it next observes cursor > stripe and
-			// mirrors its update onto the replacement.
-			s.meta.Lock()
-			s.repCursor = stripe + 1
-			s.meta.Unlock()
-		}
-		lk.Unlock()
-		if err != nil {
-			clearRepair()
-			return report, err
-		}
+	stripes := s.geo.Stripes()
+	workers := s.scrubWorkers()
+	if int64(workers) > stripes {
+		workers = int(stripes)
 	}
+	var (
+		cur      atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	parts := make([]DamageReport, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(part *DamageReport) {
+			defer wg.Done()
+			for {
+				stripe := cur.Add(1) - 1
+				if stripe >= stripes {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				lk := s.stripeLock(stripe)
+				lk.Lock()
+				var err error
+				if s.geo.Level == layout.RAID6 {
+					err = s.repairStripe6(stripe, i, replacement, part)
+				} else {
+					err = s.repairStripe(stripe, i, replacement, unit, mode, part)
+				}
+				if err == nil {
+					// Set the done bit while still holding the stripe lock,
+					// so a writer acquiring it next observes the bit and
+					// mirrors its update onto the replacement.
+					s.meta.Lock()
+					s.repDone.Mark(stripe)
+					s.meta.Unlock()
+				}
+				lk.Unlock()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(&parts[w])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		clearRepair()
+		return report, firstErr
+	}
+	for _, p := range parts {
+		report.Lost = append(report.Lost, p.Lost...)
+	}
+	sort.Slice(report.Lost, func(a, b int) bool {
+		return report.Lost[a].Offset < report.Lost[b].Offset
+	})
 
 	// Swap under a full stripe-lock barrier. An in-flight degraded span
 	// snapshots the dead set at entry; if the swap overlapped such a
@@ -156,7 +207,7 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 	} else {
 		s.dead2 = -1
 	}
-	s.repDisk, s.repDev, s.repCursor = -1, nil, 0
+	s.repDisk, s.repDev, s.repDone = -1, nil, nil
 	s.stats.DamagedStripes += uint64(len(report.Lost))
 	s.stats.DamageBytes += report.Bytes()
 	err := s.persistMarks()
@@ -180,11 +231,12 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 
 	noParity := mode == Raid0 || pol == PolicyNeverRedundant
 
-	switch {
-	case noParity && role == layout.Data:
+	if noParity && role == layout.Data {
 		// Unprotected storage: contents gone, zero-fill and report.
-		zero := make([]byte, unit)
-		if _, err := replacement.WriteAt(zero, off); err != nil {
+		sb := s.getStripeBuf()
+		defer s.putStripeBuf(sb)
+		clear(sb.p)
+		if _, err := replacement.WriteAt(sb.p, off); err != nil {
 			return err
 		}
 		report.Lost = append(report.Lost, DamagedRange{
@@ -193,17 +245,20 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 			Stripe: stripe,
 		})
 		return nil
+	}
 
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+
+	switch {
 	case role == layout.Parity:
 		// Recompute parity from the data units (valid whether or not
 		// the stripe was dirty), clearing any mark.
-		units, err := s.readDataUnits(stripe, dead)
-		if err != nil {
-			return err
+		if err := s.readStripeUnits(sb, stripe, -1, -1); err != nil {
+			return fmt.Errorf("core: repair: %w", err)
 		}
-		par := make([]byte, unit)
-		parity.Compute(par, units...)
-		if _, err := replacement.WriteAt(par, off); err != nil {
+		parity.Compute(sb.p, sb.units...)
+		if _, err := replacement.WriteAt(sb.p, off); err != nil {
 			return err
 		}
 		s.clearMark(stripe)
@@ -212,17 +267,14 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 
 	case !dirty:
 		// Clean stripe, lost data unit: exact reconstruction.
-		units, err := s.readDataUnits(stripe, dead)
-		if err != nil {
+		if err := s.readStripeUnits(sb, stripe, dead, -1); err != nil {
+			return fmt.Errorf("core: repair: %w", err)
+		}
+		if err := s.devRead(s.geo.ParityDisk(stripe), sb.p, off); err != nil {
 			return err
 		}
-		pDisk := s.geo.ParityDisk(stripe)
-		par := make([]byte, unit)
-		if err := s.devRead(pDisk, par, off); err != nil {
-			return err
-		}
-		lost := make([]byte, unit)
-		parity.Reconstruct(lost, par, units...)
+		lost := sb.units[dataIdx]
+		parity.Reconstruct(lost, sb.p, sb.survivors(dataIdx)...)
 		if _, err := replacement.WriteAt(lost, off); err != nil {
 			return err
 		}
@@ -232,20 +284,15 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 	default:
 		// Dirty stripe, lost data unit: unrecoverable. Zero-fill,
 		// recompute parity over the zeroed stripe, report the loss.
-		zero := make([]byte, unit)
-		if _, err := replacement.WriteAt(zero, off); err != nil {
+		if err := s.readStripeUnits(sb, stripe, dead, -1); err != nil {
+			return fmt.Errorf("core: repair: %w", err)
+		}
+		clear(sb.units[dataIdx])
+		if _, err := replacement.WriteAt(sb.units[dataIdx], off); err != nil {
 			return err
 		}
-		units, err := s.readDataUnits(stripe, dead)
-		if err != nil {
-			return err
-		}
-		all := make([][]byte, 0, len(units)+1)
-		all = append(all, units...)
-		all = append(all, zero)
-		par := make([]byte, unit)
-		parity.Compute(par, all...)
-		if err := s.devWrite(s.geo.ParityDisk(stripe), par, off); err != nil {
+		parity.Compute(sb.p, sb.units...)
+		if err := s.devWrite(s.geo.ParityDisk(stripe), sb.p, off); err != nil {
 			return err
 		}
 		s.clearMark(stripe)
@@ -256,25 +303,6 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 		})
 		return nil
 	}
-}
-
-// readDataUnits reads every surviving data unit of a stripe.
-func (s *Store) readDataUnits(stripe int64, dead int) ([][]byte, error) {
-	unit := s.geo.StripeUnit
-	off := s.geo.DiskOffset(stripe)
-	var units [][]byte
-	for i := 0; i < s.geo.DataDisks(); i++ {
-		d := s.geo.DataDisk(stripe, i)
-		if d == dead {
-			continue
-		}
-		buf := make([]byte, unit)
-		if err := s.devRead(d, buf, off); err != nil {
-			return nil, fmt.Errorf("core: repair: %w", err)
-		}
-		units = append(units, buf)
-	}
-	return units, nil
 }
 
 // clearMark unconditionally unmarks a stripe (on parity-bearing

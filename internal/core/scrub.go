@@ -3,6 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"afraid/internal/layout"
@@ -150,11 +153,16 @@ func (s *Store) scrubOne(forced bool, gen *uint64) (bool, error) {
 		s.meta.Unlock()
 		return false, nil
 	}
-	stripe, ok := s.marks.Next(0)
+	stripe, ok := s.nextUnclaimed()
 	s.meta.Unlock()
 	if !ok {
 		return false, nil
 	}
+	defer func() {
+		s.meta.Lock()
+		delete(s.claimed, stripe)
+		s.meta.Unlock()
+	}()
 
 	start := time.Now()
 	lk := s.stripeLock(stripe)
@@ -201,24 +209,44 @@ func (s *Store) scrubOne(forced bool, gen *uint64) (bool, error) {
 	return true, err
 }
 
-// rebuildParity recomputes and writes one stripe's parity from its data
-// units. Caller holds the stripe lock.
-func (s *Store) rebuildParity(stripe int64) error {
-	unit := s.geo.StripeUnit
-	off := s.geo.DiskOffset(stripe)
-	units := make([][]byte, s.geo.DataDisks())
-	for i := range units {
-		units[i] = make([]byte, unit)
-		d := s.geo.DataDisk(stripe, i)
-		if err := s.devRead(d, units[i], off); err != nil {
-			return fmt.Errorf("core: scrub: %w", err)
+// nextUnclaimed picks the first dirty stripe no other drain worker is
+// already rebuilding and claims it. The claim keeps concurrent Flush
+// workers off each other's stripes — without it, every worker would
+// take marks.Next(0) and serialize on the same stripe lock. Caller
+// holds meta; the claimer must delete its claim when done.
+//
+// Bitmap.Next wraps past the end of the array, so a claimed stripe
+// would be returned again forever once it is the only mark left; the
+// st < from check detects the wrap and reports "nothing unclaimed"
+// instead of spinning with meta held.
+func (s *Store) nextUnclaimed() (int64, bool) {
+	from := int64(0)
+	for {
+		st, ok := s.marks.Next(from)
+		if !ok || st < from {
+			return 0, false
 		}
+		if !s.claimed[st] {
+			s.claimed[st] = true
+			return st, true
+		}
+		from = st + 1
 	}
-	par := make([]byte, unit)
+}
+
+// rebuildParity recomputes and writes one stripe's parity from its data
+// units, read concurrently from their disks into a pooled stripe
+// arena. Caller holds the stripe lock.
+func (s *Store) rebuildParity(stripe int64) error {
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	if err := s.readStripeUnits(sb, stripe, -1, -1); err != nil {
+		return fmt.Errorf("core: scrub: %w", err)
+	}
 	pt := time.Now()
-	parity.Compute(par, units...)
+	parity.Compute(sb.p, sb.units...)
 	s.observeParity(pt)
-	if err := s.devWrite(s.geo.ParityDisk(stripe), par, off); err != nil {
+	if err := s.devWrite(s.geo.ParityDisk(stripe), sb.p, s.geo.DiskOffset(stripe)); err != nil {
 		return fmt.Errorf("core: scrub: %w", err)
 	}
 	return nil
@@ -232,11 +260,16 @@ func (s *Store) Flush() error {
 }
 
 // FlushContext is Flush with cancellation, checked between stripes.
-// Stripes scrubbed before cancellation stay redundant.
+// Stripes scrubbed before cancellation stay redundant. With more than
+// one scrub worker configured, dirty stripes are drained concurrently:
+// each worker claims a distinct stripe (see nextUnclaimed) and rebuilds
+// it under its stripe lock, so the per-disk reads of several rebuilds
+// overlap.
 func (s *Store) FlushContext(ctx context.Context) error {
 	if s.opts.Mode == Raid0 {
 		return nil
 	}
+	workers := s.scrubWorkers()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -260,10 +293,78 @@ func (s *Store) FlushContext(ctx context.Context) error {
 		}
 		// gen is nil: Flush must drain regardless of foreground I/O, or
 		// concurrent writers could starve it forever.
-		if _, err := s.scrubOne(false, nil); err != nil {
-			return err
+		var built int64
+		if workers <= 1 || n == 1 {
+			ok, err := s.scrubOne(false, nil)
+			if err != nil {
+				return err
+			}
+			if ok {
+				built = 1
+			}
+		} else {
+			var err error
+			built, err = s.drainParallel(ctx, workers)
+			if err != nil {
+				return err
+			}
 		}
+		if built == 0 {
+			// Every remaining mark is claimed by another drainer (the
+			// background scrubber, a parity point, or an inline scrub).
+			// Yield briefly instead of spinning until they release.
+			time.Sleep(100 * time.Microsecond)
+		}
+		// Loop: stripes re-dirtied by concurrent writers (or abandoned
+		// when another claimer raced) get another round; the n == 0
+		// check above is the only exit with a clean store.
 	}
+}
+
+// drainParallel runs one round of concurrent scrubOne workers until no
+// unclaimed dirty stripe remains or a worker fails; the first error
+// wins and stops the others at their next claim attempt. It reports
+// how many stripes the round rebuilt so the caller can tell progress
+// from "everything left is claimed elsewhere".
+func (s *Store) drainParallel(ctx context.Context, workers int) (int64, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		built atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				stop := first != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				ok, err := s.scrubOne(false, nil)
+				if err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				if !ok {
+					return
+				}
+				built.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return built.Load(), first
 }
 
 // ParityPoint makes the stripes covering [off, off+length) redundant
@@ -274,7 +375,10 @@ func (s *Store) ParityPoint(off, length int64) error {
 }
 
 // ParityPointContext is ParityPoint with cancellation, checked between
-// stripes.
+// stripes. Multi-stripe ranges are drained by a pool of scrub workers
+// striding an atomic cursor; a single-stripe range (or ScrubWorkers=1)
+// runs inline on the caller's goroutine, so the common "commit this
+// record" case spawns nothing and allocates nothing.
 func (s *Store) ParityPointContext(ctx context.Context, off, length int64) error {
 	if err := s.checkRange(off, length); err != nil {
 		return err
@@ -284,83 +388,190 @@ func (s *Store) ParityPointContext(ctx context.Context, off, length int64) error
 	}
 	first := off / s.geo.StripeDataBytes()
 	last := (off + length - 1) / s.geo.StripeDataBytes()
-	for stripe := first; stripe <= last; stripe++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		s.meta.Lock()
-		dirty := s.marks.IsMarked(stripe)
-		dead := s.dead
-		if s.dead2 >= 0 {
-			dead = s.dead2
-		}
-		s.meta.Unlock()
-		if !dirty {
-			continue
-		}
-		if dead >= 0 {
-			return fmt.Errorf("core: cannot make stripe %d redundant with disk %d failed: %w", stripe, dead, ErrTooManyFailures)
-		}
-		lk := s.stripeLock(stripe)
-		lk.Lock()
-		var err error
-		if s.geo.Level == layout.RAID6 {
-			err = s.rebuildParity6(stripe)
-		} else {
-			err = s.rebuildParity(stripe)
-		}
-		if err == nil {
-			s.meta.Lock()
-			s.marks.Unmark(stripe)
-			s.stats.ScrubbedStripes++
-			err = s.persistMarks()
-			s.meta.Unlock()
-		}
-		lk.Unlock()
-		if err != nil {
-			return err
-		}
+	workers := s.scrubWorkers()
+	if span := last - first + 1; span < int64(workers) {
+		workers = int(span)
 	}
-	return nil
+	if workers <= 1 {
+		for stripe := first; stripe <= last; stripe++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := s.parityPointStripe(stripe); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cur      atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	cur.Store(first)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				stripe := cur.Add(1) - 1
+				if stripe > last {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := s.parityPointStripe(stripe); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// parityPointStripe makes one stripe redundant if it is dirty. The
+// dirty check is repeated under the stripe lock so a rebuild that
+// raced with the scrubber (or another parity-point worker) is skipped
+// instead of done twice.
+func (s *Store) parityPointStripe(stripe int64) error {
+	s.meta.Lock()
+	dirty := s.marks.IsMarked(stripe)
+	dead := s.dead
+	if s.dead2 >= 0 {
+		dead = s.dead2
+	}
+	s.meta.Unlock()
+	if !dirty {
+		return nil
+	}
+	if dead >= 0 {
+		return fmt.Errorf("core: cannot make stripe %d redundant with disk %d failed: %w", stripe, dead, ErrTooManyFailures)
+	}
+	lk := s.stripeLock(stripe)
+	lk.Lock()
+	defer lk.Unlock()
+	s.meta.Lock()
+	dirty = s.marks.IsMarked(stripe)
+	s.meta.Unlock()
+	if !dirty {
+		return nil
+	}
+	var err error
+	if s.geo.Level == layout.RAID6 {
+		err = s.rebuildParity6(stripe)
+	} else {
+		err = s.rebuildParity(stripe)
+	}
+	if err != nil {
+		return err
+	}
+	s.meta.Lock()
+	s.marks.Unmark(stripe)
+	s.stats.ScrubbedStripes++
+	err = s.persistMarks()
+	s.meta.Unlock()
+	return err
 }
 
 // CheckParity verifies every stripe's parity against its data and
-// returns the stripes that are inconsistent. On a healthy AFRAID store
-// the result is exactly the set of dirty stripes; after Flush it is
-// empty. RAID 0 stores trivially verify.
+// returns the stripes that are inconsistent, in ascending order. On a
+// healthy AFRAID store the result is exactly the set of dirty stripes;
+// after Flush it is empty. RAID 0 stores trivially verify. Stripes are
+// checked by a pool of scrub workers, each with its own pooled arena.
 func (s *Store) CheckParity() ([]int64, error) {
 	if s.opts.Mode == Raid0 {
 		return nil, nil
 	}
-	if s.geo.Level == layout.RAID6 {
-		return s.checkParity6()
+	stripes := s.geo.Stripes()
+	workers := s.scrubWorkers()
+	if int64(workers) > stripes {
+		workers = int(stripes)
 	}
-	var bad []int64
-	unit := s.geo.StripeUnit
-	for stripe := int64(0); stripe < s.geo.Stripes(); stripe++ {
-		lk := s.stripeLock(stripe)
-		lk.Lock()
-		units := make([][]byte, s.geo.DataDisks())
-		var err error
-		for i := range units {
-			units[i] = make([]byte, unit)
-			d := s.geo.DataDisk(stripe, i)
-			if _, err = s.devs[d].ReadAt(units[i], s.geo.DiskOffset(stripe)); err != nil {
-				break
+	raid6 := s.geo.Level == layout.RAID6
+	var (
+		cur      atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		bad      []int64
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sb := s.getStripeBuf()
+			defer s.putStripeBuf(sb)
+			for {
+				stripe := cur.Add(1) - 1
+				if stripe >= stripes {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				var consistent bool
+				var err error
+				if raid6 {
+					consistent, err = s.checkStripe6(sb, stripe)
+				} else {
+					consistent, err = s.checkStripe(sb, stripe)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if !consistent {
+					mu.Lock()
+					bad = append(bad, stripe)
+					mu.Unlock()
+				}
 			}
-		}
-		var par []byte
-		if err == nil {
-			par = make([]byte, unit)
-			_, err = s.devs[s.geo.ParityDisk(stripe)].ReadAt(par, s.geo.DiskOffset(stripe))
-		}
-		lk.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		if !parity.Check(par, units...) {
-			bad = append(bad, stripe)
-		}
+		}()
 	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
 	return bad, nil
+}
+
+// checkStripe verifies one stripe's parity under its stripe lock.
+func (s *Store) checkStripe(sb *stripeBuf, stripe int64) (bool, error) {
+	lk := s.stripeLock(stripe)
+	lk.Lock()
+	err := s.readStripeUnits(sb, stripe, -1, -1)
+	if err == nil {
+		err = s.devRead(s.geo.ParityDisk(stripe), sb.p, s.geo.DiskOffset(stripe))
+	}
+	lk.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return parity.Check(sb.p, sb.units...), nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -84,6 +85,10 @@ type Options struct {
 	// DeferBothParities makes Afraid6 defer P as well as Q (full
 	// AFRAID write speed, full exposure while dirty). Afraid6 only.
 	DeferBothParities bool
+	// ScrubWorkers bounds the stripes rebuilt concurrently by Flush,
+	// ParityPoint, CheckParity, and the RepairDisk sweep (default
+	// min(GOMAXPROCS, data disks)). 1 drains serially.
+	ScrubWorkers int
 }
 
 func (o *Options) fill() {
@@ -143,18 +148,23 @@ type Store struct {
 	lastIO   time.Time
 	closed   bool
 	stats    Stats
-	scrubGen uint64 // bumped on foreground I/O to preempt scrub runs
+	scrubGen uint64         // bumped on foreground I/O to preempt scrub runs
+	claimed  map[int64]bool // stripes a drain worker is rebuilding right now
 
-	// In-progress repair (RepairDisk): stripes below repCursor have
+	// In-progress repair (RepairDisk): stripes marked in repDone have
 	// already been rebuilt onto repDev, so degraded foreground writes
 	// must mirror the dead disk's unit there or the replacement would
-	// hold stale data when it is swapped in. repDisk is -1 when no
-	// repair is running.
-	repDisk   int
-	repDev    BlockDevice
-	repCursor int64
+	// hold stale data when it is swapped in. A bitmap rather than a
+	// cursor because the parallel sweep completes stripes out of
+	// order. repDisk is -1 when no repair is running.
+	repDisk int
+	repDev  BlockDevice
+	repDone *nvram.Bitmap
 
 	locks [64]sync.Mutex // stripe lock pool (stripe % 64)
+
+	sbPool sync.Pool  // *stripeBuf arena (stripebuf.go)
+	ioCh   chan ioReq // unbuffered hand-off to the I/O workers
 
 	ob   *storeObs
 	kick chan struct{} // pressure-valve handoff to scrubLoop (capacity 1)
@@ -211,10 +221,23 @@ func Open(devs []BlockDevice, nv NVRAM, opts Options) (*Store, error) {
 		dead2:   -1,
 		repDisk: -1,
 		lastIO:  time.Now(),
+		claimed: make(map[int64]bool),
+		ioCh:    make(chan ioReq),
 		ob:      newStoreObs(),
 		kick:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		policy:  make([]StripePolicy, geo.Stripes()),
+	}
+	// I/O workers serve the per-disk unit reads fanned out by stripe
+	// rebuilds, degraded reads, and parity checks. Enough for every
+	// drain worker to have a whole stripe's reads in flight at once.
+	ioN := len(devs) * s.scrubWorkers()
+	if ioN > 32 {
+		ioN = 32
+	}
+	for i := 0; i < ioN; i++ {
+		s.wg.Add(1)
+		go s.ioWorker()
 	}
 	// Probe the members: a disk that failed before a crash is still
 	// failed after reopen, and the store must know before issuing I/O.
@@ -359,6 +382,23 @@ func (s *Store) Stats() Stats {
 // stripeLock returns the lock covering a stripe.
 func (s *Store) stripeLock(stripe int64) *sync.Mutex {
 	return &s.locks[stripe%int64(len(s.locks))]
+}
+
+// scrubWorkers resolves the drain concurrency: Options.ScrubWorkers,
+// or min(GOMAXPROCS, data disks) — wider gains nothing once every
+// spindle has a read in flight, narrower wastes idle devices.
+func (s *Store) scrubWorkers() int {
+	w := s.opts.ScrubWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if dd := s.geo.DataDisks(); w > dd {
+			w = dd
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // touch records foreground activity for idle detection and scrub
@@ -511,28 +551,41 @@ func (s *Store) readSpan(p []byte, base int64, sp layout.StripeSpan) error {
 }
 
 // degradedReadExtent reconstructs a lost extent from parity plus the
-// surviving data units. Caller holds the stripe lock.
+// surviving data units. The survivor reads target distinct disks, so
+// they are fanned out to the I/O workers and overlap; the parity read
+// is done inline by this goroutine. Caller holds the stripe lock.
 func (s *Store) degradedReadExtent(dst []byte, stripe int64, e layout.Extent) error {
-	unitOff := e.UnitOff
-	n := int64(len(dst))
-	pDisk := s.geo.ParityDisk(stripe)
-	buf := make([]byte, n)
-	if err := s.devRead(pDisk, buf, s.geo.DiskOffset(stripe)+unitOff); err != nil {
-		return err
+	n := len(dst)
+	off := s.geo.DiskOffset(stripe) + e.UnitOff
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	for i := range sb.errs {
+		sb.errs[i] = nil
 	}
-	acc := buf
-	tmp := make([]byte, n)
-	for i := 0; i < s.geo.DataDisks(); i++ {
+	dd := s.geo.DataDisks()
+	for i := 0; i < dd; i++ {
 		if i == e.DataIdx {
 			continue
 		}
-		d := s.geo.DataDisk(stripe, i)
-		if err := s.devRead(d, tmp, s.geo.DiskOffset(stripe)+unitOff); err != nil {
-			return err
-		}
-		parity.XOR(acc, tmp)
+		s.devReadAsync(s.geo.DataDisk(stripe, i), sb.units[i][:n], off, &sb.errs[i], &sb.wg)
 	}
-	copy(dst, acc)
+	p := sb.p[:n]
+	perr := s.devRead(s.geo.ParityDisk(stripe), p, off)
+	sb.wg.Wait()
+	if perr != nil {
+		return perr
+	}
+	sb.gather = sb.gather[:0]
+	for i := 0; i < dd; i++ {
+		if i == e.DataIdx {
+			continue
+		}
+		if sb.errs[i] != nil {
+			return sb.errs[i]
+		}
+		sb.gather = append(sb.gather, sb.units[i][:n])
+	}
+	parity.Reconstruct(dst, p, sb.gather...)
 	return nil
 }
 
@@ -648,26 +701,40 @@ func (s *Store) writeSpanRaid5(p []byte, base int64, sp layout.StripeSpan) error
 	pDisk := s.geo.ParityDisk(stripe)
 	for _, e := range sp.Extents {
 		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
-		old := make([]byte, e.Len)
-		if err := s.devRead(e.Disk, old, e.DiskOff); err != nil {
-			return err
-		}
-		par := make([]byte, e.Len)
-		pOff := s.geo.DiskOffset(stripe) + e.UnitOff
-		if err := s.devRead(pDisk, par, pOff); err != nil {
-			return err
-		}
-		pt := time.Now()
-		parity.Update(par, old, src)
-		s.observeParity(pt)
-		if err := s.devWrite(e.Disk, src, e.DiskOff); err != nil {
-			return err
-		}
-		if err := s.devWrite(pDisk, par, pOff); err != nil {
+		if err := s.rmwExtent(stripe, pDisk, e, src); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// rmwExtent is one extent's read-modify-write. The old-data and
+// old-parity reads target different disks, so one is handed to the I/O
+// workers while this goroutine does the other; scratch comes from the
+// stripe-buffer pool, so steady-state RAID 5 writes allocate nothing.
+func (s *Store) rmwExtent(stripe int64, pDisk int, e layout.Extent, src []byte) error {
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	old := sb.units[0][:e.Len]
+	sb.errs[0] = nil
+	s.devReadAsync(e.Disk, old, e.DiskOff, &sb.errs[0], &sb.wg)
+	par := sb.p[:e.Len]
+	pOff := s.geo.DiskOffset(stripe) + e.UnitOff
+	perr := s.devRead(pDisk, par, pOff)
+	sb.wg.Wait()
+	if perr != nil {
+		return perr
+	}
+	if sb.errs[0] != nil {
+		return sb.errs[0]
+	}
+	pt := time.Now()
+	parity.Update(par, old, src)
+	s.observeParity(pt)
+	if err := s.devWrite(e.Disk, src, e.DiskOff); err != nil {
+		return err
+	}
+	return s.devWrite(pDisk, par, pOff)
 }
 
 // writeSpanDegraded rewrites the whole stripe image around a failed
@@ -680,58 +747,50 @@ func (s *Store) writeSpanDegraded(p []byte, base int64, sp layout.StripeSpan) er
 	dirty := s.marks.IsMarked(stripe)
 	s.meta.Unlock()
 
-	units, err := s.loadStripeImage(stripe, dead, dirty)
-	if err != nil {
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	if err := s.loadStripeImageInto(sb, stripe, dead, dirty); err != nil {
 		return err
 	}
 	// Apply the new data in memory.
 	for _, e := range sp.Extents {
 		src := p[e.ArrOff-base : e.ArrOff-base+e.Len]
-		copy(units[e.DataIdx][e.UnitOff:], src)
+		copy(sb.units[e.DataIdx][e.UnitOff:], src)
 	}
-	return s.storeStripeImage(stripe, units, dead, dirty)
+	return s.storeStripeImage(stripe, sb, dead, dirty)
 }
 
-// loadStripeImage reads all data units of a stripe, reconstructing the
-// dead one from parity when the stripe is clean. A dirty stripe's dead
-// data unit is unrecoverable and is surfaced as ErrDataLoss.
-func (s *Store) loadStripeImage(stripe int64, dead int, dirty bool) ([][]byte, error) {
-	unit := s.geo.StripeUnit
-	off := s.geo.DiskOffset(stripe)
-	units := make([][]byte, s.geo.DataDisks())
-	var deadIdx = -1
-	for i := range units {
-		units[i] = make([]byte, unit)
-		d := s.geo.DataDisk(stripe, i)
-		if d == dead {
-			deadIdx = i
-			continue
-		}
-		if err := s.devRead(d, units[i], off); err != nil {
-			return nil, err
-		}
-	}
-	if deadIdx >= 0 {
-		if dirty {
-			return nil, fmt.Errorf("%w: stripe %d", ErrDataLoss, stripe)
-		}
-		par := make([]byte, unit)
-		pDisk := s.geo.ParityDisk(stripe)
-		if pDisk == dead {
-			return nil, fmt.Errorf("core: internal: dead disk is both data and parity")
-		}
-		if err := s.devRead(pDisk, par, off); err != nil {
-			return nil, err
-		}
-		survivors := make([][]byte, 0, len(units)-1)
-		for i, u := range units {
-			if i != deadIdx {
-				survivors = append(survivors, u)
+// loadStripeImageInto reads all data units of a stripe into sb,
+// reconstructing the dead one from parity when the stripe is clean. A
+// dirty stripe's dead data unit is unrecoverable and is surfaced as
+// ErrDataLoss.
+func (s *Store) loadStripeImageInto(sb *stripeBuf, stripe int64, dead int, dirty bool) error {
+	deadIdx := -1
+	if dead >= 0 {
+		for i := range sb.units {
+			if s.geo.DataDisk(stripe, i) == dead {
+				deadIdx = i
+				break
 			}
 		}
-		parity.Reconstruct(units[deadIdx], par, survivors...)
 	}
-	return units, nil
+	if deadIdx >= 0 && dirty {
+		return fmt.Errorf("%w: stripe %d", ErrDataLoss, stripe)
+	}
+	if err := s.readStripeUnits(sb, stripe, dead, -1); err != nil {
+		return err
+	}
+	if deadIdx >= 0 {
+		pDisk := s.geo.ParityDisk(stripe)
+		if pDisk == dead {
+			return fmt.Errorf("core: internal: dead disk is both data and parity")
+		}
+		if err := s.devRead(pDisk, sb.p, s.geo.DiskOffset(stripe)); err != nil {
+			return err
+		}
+		parity.Reconstruct(sb.units[deadIdx], sb.p, sb.survivors(deadIdx)...)
+	}
+	return nil
 }
 
 // storeStripeImage writes back a full stripe image (data plus parity),
@@ -739,11 +798,10 @@ func (s *Store) loadStripeImage(stripe int64, dead int, dirty bool) ([][]byte, e
 // sweep has already rebuilt this stripe onto an in-progress replacement,
 // the dead disk's unit is mirrored there too, so the replacement does
 // not hold stale data when RepairDisk swaps it in.
-func (s *Store) storeStripeImage(stripe int64, units [][]byte, dead int, wasDirty bool) error {
-	unit := s.geo.StripeUnit
+func (s *Store) storeStripeImage(stripe int64, sb *stripeBuf, dead int, wasDirty bool) error {
 	off := s.geo.DiskOffset(stripe)
 	rd := s.repairTarget(stripe, dead)
-	for i, u := range units {
+	for i, u := range sb.units {
 		d := s.geo.DataDisk(stripe, i)
 		if d == dead {
 			if rd != nil {
@@ -758,17 +816,18 @@ func (s *Store) storeStripeImage(stripe int64, units [][]byte, dead int, wasDirt
 		}
 	}
 	pDisk := s.geo.ParityDisk(stripe)
-	par := make([]byte, unit)
-	parity.Compute(par, units...)
+	pt := time.Now()
+	parity.Compute(sb.p, sb.units...)
+	s.observeParity(pt)
 	if pDisk == dead {
 		if rd != nil {
-			if _, err := rd.WriteAt(par, off); err != nil {
+			if _, err := rd.WriteAt(sb.p, off); err != nil {
 				return fmt.Errorf("core: repair mirror parity write: %w", err)
 			}
 		}
 		return nil
 	}
-	if err := s.devWrite(pDisk, par, off); err != nil {
+	if err := s.devWrite(pDisk, sb.p, off); err != nil {
 		return err
 	}
 	if wasDirty {
@@ -785,9 +844,9 @@ func (s *Store) storeStripeImage(stripe int64, units [][]byte, dead int, wasDirt
 
 // repairTarget returns the replacement device a degraded write to the
 // stripe must mirror disk d's unit onto: non-nil exactly when RepairDisk
-// is rebuilding disk d and its sweep has already passed this stripe.
-// The answer cannot go stale within the span: the sweep advances the
-// cursor past a stripe only while holding that stripe's lock, which the
+// is rebuilding disk d and its sweep has already rebuilt this stripe.
+// The answer cannot go stale within the span: a sweep worker sets the
+// stripe's done bit only while holding that stripe's lock, which the
 // caller already holds.
 func (s *Store) repairTarget(stripe int64, d int) BlockDevice {
 	if d < 0 {
@@ -795,7 +854,7 @@ func (s *Store) repairTarget(stripe int64, d int) BlockDevice {
 	}
 	s.meta.Lock()
 	defer s.meta.Unlock()
-	if s.repDisk == d && stripe < s.repCursor {
+	if s.repDisk == d && s.repDone != nil && s.repDone.IsMarked(stripe) {
 		return s.repDev
 	}
 	return nil

@@ -1,16 +1,31 @@
 package parity
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+
+	"afraid/internal/bufpool"
+)
 
 // GF(2^8) arithmetic with the standard RAID 6 / Reed-Solomon polynomial
 // x^8+x^4+x^3+x^2+1 (0x11d), under which 2 is a primitive element, using
 // log/antilog tables generated at init time. This supports the P+Q
 // (RAID 6) codec for the paper's §5 extension: P = sum(d_i),
 // Q = sum(g^i * d_i) with generator g = 2.
+//
+// The bulk kernels never touch the log/antilog tables: each coefficient
+// c selects one 256-byte row of the full multiplication table, and the
+// inner loops are a single branch-free lookup-and-xor per byte. The
+// fused kernels (foldPQ, mulUpdate) make one pass over the source for
+// both parities, halving the source traffic of the naive two-call shape.
 
 var (
 	gfExp [512]byte // g^i for i in [0,510), doubled to avoid mod 255
 	gfLog [256]byte // log_g(x) for x != 0
+
+	// gfMulTab[c][x] = c*x over GF(2^8). 64 KiB, built once at init;
+	// row c is the kernel for "multiply a block by c".
+	gfMulTab [256][256]byte
 )
 
 func init() {
@@ -28,15 +43,17 @@ func init() {
 	for i := 255; i < 510; i++ {
 		gfExp[i] = gfExp[i-255]
 	}
+	for c := 1; c < 256; c++ {
+		lc := int(gfLog[c])
+		row := &gfMulTab[c]
+		for s := 1; s < 256; s++ {
+			row[s] = gfExp[lc+int(gfLog[s])]
+		}
+	}
 }
 
 // gfMul multiplies two field elements.
-func gfMul(a, b byte) byte {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	return gfExp[int(gfLog[a])+int(gfLog[b])]
-}
+func gfMul(a, b byte) byte { return gfMulTab[a][b] }
 
 // gfDiv divides a by b (b != 0).
 func gfDiv(a, b byte) byte {
@@ -78,16 +95,28 @@ func mulInto(dst, src []byte, c byte) {
 		XOR(dst, src)
 		return
 	}
-	lc := int(gfLog[c])
+	row := &gfMulTab[c]
+	dst = dst[:len(src)] // hoist the bounds check out of the loop
 	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= gfExp[lc+int(gfLog[s])]
-		}
+		dst[i] ^= row[s]
+	}
+}
+
+// foldPQ accumulates one data block into both parities in a single pass
+// over src: p ^= src, q ^= c*src. The block is read once for both.
+func foldPQ(p, q, src []byte, c byte) {
+	row := &gfMulTab[c]
+	p = p[:len(src)]
+	q = q[:len(src)]
+	for i, s := range src {
+		p[i] ^= s
+		q[i] ^= row[s]
 	}
 }
 
 // ComputePQ writes the RAID 6 P and Q parity blocks for the data blocks.
-// Block i contributes g^i to Q. All blocks, p, and q must share a length.
+// Block i contributes g^i to Q. All blocks, p, and q must share a
+// length, validated before either output is touched.
 func ComputePQ(p, q []byte, blocks ...[]byte) {
 	if len(blocks) == 0 {
 		panic("parity: ComputePQ with no blocks")
@@ -95,15 +124,20 @@ func ComputePQ(p, q []byte, blocks ...[]byte) {
 	if len(blocks) > 255 {
 		panic("parity: ComputePQ supports at most 255 data blocks")
 	}
-	for i := range p {
-		p[i] = 0
+	if len(p) != len(q) {
+		panic("parity: ComputePQ p/q length mismatch")
 	}
-	for i := range q {
-		q[i] = 0
+	for _, b := range blocks {
+		if len(b) != len(p) {
+			panic("parity: ComputePQ parity/block length mismatch")
+		}
 	}
-	for i, b := range blocks {
-		XOR(p, b)
-		mulInto(q, b, gfPow(i))
+	// Block 0 contributes g^0 = 1 to both parities: seed by copy instead
+	// of zeroing and folding.
+	copy(p, blocks[0])
+	copy(q, blocks[0])
+	for i := 1; i < len(blocks); i++ {
+		foldPQ(p, q, blocks[i], gfPow(i))
 	}
 }
 
@@ -111,23 +145,28 @@ func ComputePQ(p, q []byte, blocks ...[]byte) {
 // plus survivors. If useQ is false it uses P exactly like RAID 5; if
 // true it uses Q: d_idx = (Q - sum_{j!=idx} g^j d_j) / g^idx.
 func ReconstructOnePQ(dst []byte, idx int, useQ bool, pq []byte, survivors map[int][]byte) {
-	for i := range dst {
-		dst[i] = 0
+	if len(dst) != len(pq) {
+		panic("parity: ReconstructOnePQ dst/parity length mismatch")
+	}
+	for _, b := range survivors {
+		if len(b) != len(dst) {
+			panic("parity: ReconstructOnePQ survivor length mismatch")
+		}
 	}
 	if !useQ {
-		XOR(dst, pq)
+		copy(dst, pq)
 		for _, b := range survivors {
 			XOR(dst, b)
 		}
 		return
 	}
-	XOR(dst, pq)
+	copy(dst, pq)
 	for j, b := range survivors {
 		mulInto(dst, b, gfPow(j))
 	}
-	inv := gfInv(gfPow(idx))
-	for i := range dst {
-		dst[i] = gfMul(dst[i], inv)
+	row := &gfMulTab[gfInv(gfPow(idx))]
+	for i, v := range dst {
+		dst[i] = row[v]
 	}
 }
 
@@ -144,43 +183,83 @@ func ReconstructTwoPQ(dx, dy []byte, x, y int, p, q []byte, survivors map[int][]
 		panic(fmt.Sprintf("parity: ReconstructTwoPQ with x == y == %d", x))
 	}
 	n := len(p)
-	pxy := make([]byte, n)
-	qxy := make([]byte, n)
+	if len(q) != n || len(dx) != n || len(dy) != n {
+		panic("parity: ReconstructTwoPQ length mismatch")
+	}
+	for _, b := range survivors {
+		if len(b) != n {
+			panic("parity: ReconstructTwoPQ survivor length mismatch")
+		}
+	}
+	pxy := bufpool.Get(n)
+	qxy := bufpool.Get(n)
+	defer bufpool.Put(pxy)
+	defer bufpool.Put(qxy)
 	copy(pxy, p)
 	copy(qxy, q)
 	for j, b := range survivors {
-		XOR(pxy, b)
-		mulInto(qxy, b, gfPow(j))
+		foldPQ(pxy, qxy, b, gfPow(j))
 	}
 	// a = g^(y-x), b = g^(-x)
 	a := gfPow(y - x)
 	binv := gfPow(-x)
 	denom := a ^ 1
+	rowA := &gfMulTab[a]
+	rowB := &gfMulTab[binv]
+	rowD := &gfMulTab[gfInv(denom)]
+	dx = dx[:n]
+	dy = dy[:n]
 	for i := 0; i < n; i++ {
-		dx[i] = gfDiv(gfMul(a, pxy[i])^gfMul(binv, qxy[i]), denom)
-		dy[i] = pxy[i] ^ dx[i]
+		v := rowD[rowA[pxy[i]]^rowB[qxy[i]]]
+		dx[i] = v
+		dy[i] = pxy[i] ^ v
+	}
+}
+
+// mulUpdate computes q ^= c * (oldData ^ newData) in one pass, without
+// materializing the delta — the fused RAID 6 read-modify-write kernel.
+func mulUpdate(q, oldData, newData []byte, c byte) {
+	if len(q) != len(oldData) || len(q) != len(newData) {
+		panic("parity: mulUpdate length mismatch")
+	}
+	row := &gfMulTab[c]
+	oldData = oldData[:len(q)]
+	newData = newData[:len(q)]
+	for i := range q {
+		q[i] ^= row[oldData[i]^newData[i]]
 	}
 }
 
 // UpdateQ applies the read-modify-write delta to a Q parity block for
 // data block idx: Q ^= g^idx * (old ^ new). The RAID 6 analogue of
-// Update.
+// Update. Allocation-free: the delta is folded in flight.
 func UpdateQ(q, oldData, newData []byte, idx int) {
-	delta := make([]byte, len(oldData))
-	copy(delta, oldData)
-	XOR(delta, newData)
-	mulInto(q, delta, gfPow(idx))
+	mulUpdate(q, oldData, newData, gfPow(idx))
 }
 
-// CheckPQ reports whether p and q are consistent with blocks.
+// CheckPQ reports whether p and q are consistent with blocks. The P
+// check folds in place (see Check); the Q accumulator comes from the
+// buffer pool, so steady-state verification allocates nothing.
 func CheckPQ(p, q []byte, blocks ...[]byte) bool {
-	tp := make([]byte, len(p))
-	tq := make([]byte, len(q))
-	ComputePQ(tp, tq, blocks...)
-	for i := range tp {
-		if tp[i] != p[i] || tq[i] != q[i] {
-			return false
+	if len(blocks) == 0 {
+		panic("parity: CheckPQ with no blocks")
+	}
+	if len(p) != len(q) {
+		panic("parity: CheckPQ p/q length mismatch")
+	}
+	for _, b := range blocks {
+		if len(b) != len(p) {
+			panic("parity: CheckPQ parity/block length mismatch")
 		}
 	}
-	return true
+	if !Check(p, blocks...) {
+		return false
+	}
+	tq := bufpool.Get(len(q))
+	defer bufpool.Put(tq)
+	copy(tq, blocks[0])
+	for i := 1; i < len(blocks); i++ {
+		mulInto(tq, blocks[i], gfPow(i))
+	}
+	return bytes.Equal(tq, q)
 }

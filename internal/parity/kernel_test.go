@@ -1,0 +1,264 @@
+package parity
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// xorNaive is the reference byte-at-a-time fold the word-wise kernels
+// are checked (and benchmarked) against.
+func xorNaive(dst []byte, srcs ...[]byte) {
+	for _, s := range srcs {
+		for i := range dst {
+			dst[i] ^= s[i]
+		}
+	}
+}
+
+// fill writes a deterministic pseudo-random pattern.
+func fill(b []byte, seed uint64) {
+	s := seed*6364136223846793005 + 1442695040888963407
+	for i := range b {
+		s = s*6364136223846793005 + 1442695040888963407
+		b[i] = byte(s >> 56)
+	}
+}
+
+func TestXORIntoMatchesNaive(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 512, 513, 8191, 8192} {
+		for k := 0; k <= 5; k++ {
+			srcs := make([][]byte, k)
+			for i := range srcs {
+				srcs[i] = make([]byte, n)
+				fill(srcs[i], uint64(n*10+i))
+			}
+			want := make([]byte, n)
+			got := make([]byte, n)
+			fill(want, uint64(n))
+			copy(got, want)
+			xorNaive(want, srcs...)
+			XORInto(got, srcs...)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("XORInto(n=%d, k=%d) diverges from naive fold", n, k)
+			}
+		}
+	}
+}
+
+func TestXORIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	XORInto(make([]byte, 8), make([]byte, 8), make([]byte, 7))
+}
+
+func TestXORIntoMismatchLeavesDstUntouched(t *testing.T) {
+	// Validate-first: a bad source in any position must not partially
+	// fold the earlier sources into dst.
+	dst := []byte{1, 2, 3, 4}
+	orig := append([]byte(nil), dst...)
+	func() {
+		defer func() { recover() }()
+		XORInto(dst, []byte{9, 9, 9, 9}, []byte{1, 2, 3})
+	}()
+	if !bytes.Equal(dst, orig) {
+		t.Fatalf("dst mutated to %v before panic", dst)
+	}
+}
+
+func TestComputeMismatchLeavesParityUntouched(t *testing.T) {
+	// The seed code copied blocks[0] into p before validating, partially
+	// mutating the destination of a doomed call.
+	p := []byte{7, 7, 7, 7}
+	orig := append([]byte(nil), p...)
+	func() {
+		defer func() { recover() }()
+		Compute(p, []byte{1, 2}, []byte{3, 4, 5, 6})
+	}()
+	if !bytes.Equal(p, orig) {
+		t.Fatalf("parity mutated to %v before panic", p)
+	}
+}
+
+func TestReconstructMismatchLeavesDstUntouched(t *testing.T) {
+	dst := []byte{7, 7, 7, 7}
+	orig := append([]byte(nil), dst...)
+	func() {
+		defer func() { recover() }()
+		Reconstruct(dst, []byte{1, 2, 3, 4}, []byte{1, 2, 3})
+	}()
+	if !bytes.Equal(dst, orig) {
+		t.Fatalf("dst mutated to %v before panic", dst)
+	}
+}
+
+func TestComputePQMismatchLeavesParitiesUntouched(t *testing.T) {
+	p := []byte{7, 7, 7, 7}
+	q := []byte{9, 9, 9, 9}
+	origP := append([]byte(nil), p...)
+	origQ := append([]byte(nil), q...)
+	func() {
+		defer func() { recover() }()
+		ComputePQ(p, q, []byte{1, 2, 3, 4}, []byte{1, 2, 3})
+	}()
+	if !bytes.Equal(p, origP) || !bytes.Equal(q, origQ) {
+		t.Fatalf("parities mutated to %v/%v before panic", p, q)
+	}
+}
+
+func TestUpdateMatchesTwoXORs(t *testing.T) {
+	prop := func(p, old, new []byte) bool {
+		n := 41 // odd length exercises the byte tail
+		pad := func(x []byte) []byte {
+			out := make([]byte, n)
+			copy(out, x)
+			return out
+		}
+		p, old, new = pad(p), pad(old), pad(new)
+		want := append([]byte(nil), p...)
+		XOR(want, old)
+		XOR(want, new)
+		Update(p, old, new)
+		return bytes.Equal(p, want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFMulTableMatchesLogExp(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			var want byte
+			if a != 0 && b != 0 {
+				want = gfExp[int(gfLog[a])+int(gfLog[b])]
+			}
+			if got := gfMul(byte(a), byte(b)); got != want {
+				t.Fatalf("gfMul(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFoldPQMatchesSeparateCalls(t *testing.T) {
+	n := 100
+	src := make([]byte, n)
+	fill(src, 3)
+	for _, c := range []byte{0, 1, 2, 29, 255} {
+		p1, q1 := make([]byte, n), make([]byte, n)
+		p2, q2 := make([]byte, n), make([]byte, n)
+		fill(p1, 4)
+		fill(q1, 5)
+		copy(p2, p1)
+		copy(q2, q1)
+		XOR(p1, src)
+		mulInto(q1, src, c)
+		foldPQ(p2, q2, src, c)
+		if !bytes.Equal(p1, p2) || !bytes.Equal(q1, q2) {
+			t.Fatalf("foldPQ(c=%d) diverges from XOR+mulInto", c)
+		}
+	}
+}
+
+func TestUpdateQMatchesDeltaForm(t *testing.T) {
+	n := 77
+	q1 := make([]byte, n)
+	old := make([]byte, n)
+	new := make([]byte, n)
+	fill(q1, 1)
+	fill(old, 2)
+	fill(new, 3)
+	q2 := append([]byte(nil), q1...)
+	// Reference: materialize the delta, then mulInto.
+	delta := append([]byte(nil), old...)
+	XOR(delta, new)
+	mulInto(q1, delta, gfPow(5))
+	UpdateQ(q2, old, new, 5)
+	if !bytes.Equal(q1, q2) {
+		t.Fatal("UpdateQ diverges from materialized-delta form")
+	}
+}
+
+// TestHotKernelsAllocFree asserts the steady-state data path allocates
+// nothing: Check, CheckPQ, UpdateQ, and ReconstructTwoPQ after the
+// buffer pool has warmed.
+func TestHotKernelsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds allocations; assertion only holds in normal builds")
+	}
+	n := 8 << 10
+	blocks := make([][]byte, 4)
+	for i := range blocks {
+		blocks[i] = make([]byte, n)
+		fill(blocks[i], uint64(i))
+	}
+	p := make([]byte, n)
+	q := make([]byte, n)
+	ComputePQ(p, q, blocks...)
+
+	if a := testing.AllocsPerRun(20, func() {
+		if !Check(p, blocks[0], blocks[1], blocks[2], blocks[3]) {
+			t.Fatal("Check rejected consistent parity")
+		}
+	}); a > 0 {
+		t.Errorf("Check allocates %v per op", a)
+	}
+
+	if a := testing.AllocsPerRun(20, func() {
+		if !CheckPQ(p, q, blocks[0], blocks[1], blocks[2], blocks[3]) {
+			t.Fatal("CheckPQ rejected consistent parity")
+		}
+	}); a > 0 {
+		t.Errorf("CheckPQ allocates %v per op", a)
+	}
+
+	qc := append([]byte(nil), q...)
+	if a := testing.AllocsPerRun(20, func() {
+		UpdateQ(qc, blocks[1], blocks[2], 1)
+	}); a > 0 {
+		t.Errorf("UpdateQ allocates %v per op", a)
+	}
+
+	dx := make([]byte, n)
+	dy := make([]byte, n)
+	surv := map[int][]byte{2: blocks[2], 3: blocks[3]}
+	if a := testing.AllocsPerRun(20, func() {
+		ReconstructTwoPQ(dx, dy, 0, 1, p, q, surv)
+	}); a > 0 {
+		t.Errorf("ReconstructTwoPQ allocates %v per op", a)
+	}
+	if !bytes.Equal(dx, blocks[0]) || !bytes.Equal(dy, blocks[1]) {
+		t.Error("ReconstructTwoPQ wrong answer")
+	}
+}
+
+func FuzzXORInto(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{9, 8, 7, 6, 5, 4, 3, 2, 1}, uint8(3))
+	f.Add([]byte{}, []byte{}, uint8(0))
+	f.Add(bytes.Repeat([]byte{0xaa}, 100), bytes.Repeat([]byte{0x55}, 100), uint8(5))
+	f.Fuzz(func(t *testing.T, dst, src []byte, k uint8) {
+		if len(src) > len(dst) {
+			src = src[:len(dst)]
+		} else {
+			dst = dst[:len(src)]
+		}
+		// Derive k (bounded) sources from src by rotation so they differ.
+		srcs := make([][]byte, int(k%6))
+		for i := range srcs {
+			srcs[i] = make([]byte, len(src))
+			for j := range src {
+				srcs[i][j] = src[(j+i)%max(len(src), 1)] ^ byte(i)
+			}
+		}
+		want := append([]byte(nil), dst...)
+		got := append([]byte(nil), dst...)
+		xorNaive(want, srcs...)
+		XORInto(got, srcs...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("XORInto(len=%d, k=%d) = %x, naive = %x", len(dst), len(srcs), got, want)
+		}
+	})
+}

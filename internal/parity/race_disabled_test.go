@@ -1,0 +1,5 @@
+//go:build !race
+
+package parity
+
+const raceEnabled = false

@@ -150,6 +150,11 @@ type Response struct {
 	Status Status
 	ID     uint64
 	Data   []byte // READ data, STAT payload, or an error message
+
+	// pooled marks Data as borrowed from bufpool: the connection writer
+	// returns it after the frame is serialized. Set only for OpRead
+	// responses, which are never shared between frame IDs.
+	pooled bool
 }
 
 // AppendRequest appends the framed request (length prefix included) to

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"afraid/internal/bufpool"
 	"afraid/internal/core"
 )
 
@@ -318,11 +319,16 @@ func (s *Server) apply(ctx context.Context, r *Request) Response {
 		if !rangeOK(r.Off, int64(r.Length), cap) {
 			return s.reject(resp, cap, r)
 		}
-		buf := make([]byte, r.Length)
+		// Read payloads are the server's hottest allocation; borrow the
+		// buffer from the pool and let the connection writer return it
+		// once the response frame is on the wire.
+		buf := bufpool.Get(int(r.Length))
 		if _, err := s.store.ReadContext(ctx, buf, r.Off); err != nil {
+			bufpool.Put(buf)
 			return s.fail(resp, err)
 		}
 		resp.Data = buf
+		resp.pooled = true
 		s.metrics.BytesRead.Add(int64(r.Length))
 	case OpWrite:
 		if !rangeOK(r.Off, int64(len(r.Data)), cap) {
@@ -555,6 +561,9 @@ func (c *conn) writeLoop() {
 	for resp := range c.out {
 		for {
 			buf = AppendResponse(buf[:0], &resp)
+			if resp.pooled {
+				bufpool.Put(resp.Data) // serialized into buf; done with it
+			}
 			if _, err := bw.Write(buf); err != nil {
 				c.nc.Close() // unblock the reader
 				return

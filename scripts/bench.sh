@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the parity-engine benchmarks and record the results
+# as JSON (default BENCH_parity.json at the repo root).
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+#   output.json  defaults to BENCH_parity.json
+#   benchtime    defaults to 1s (pass e.g. 1x for a smoke run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_parity.json}"
+benchtime="${2:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== kernel benchmarks (internal/parity)" >&2
+go test -run '^$' -bench 'XORKernel|GFKernel' -benchmem \
+    -benchtime "$benchtime" ./internal/parity | tee -a "$tmp" >&2
+
+echo "== store benchmarks (flush drain, scrub)" >&2
+go test -run '^$' -bench 'FlushThroughput|StoreScrub' -benchmem \
+    -benchtime "$benchtime" . | tee -a "$tmp" >&2
+
+# Fold the standard benchmark lines into JSON: each line is
+#   BenchmarkName-P  <iters>  <value> <unit>  [<value> <unit>]...
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", name, $2
+    m = 0
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (m++) printf ", "
+        printf "\"%s\": %s", $(i + 1), $(i)
+    }
+    printf "}}"
+}
+END { print "\n  ]\n}" }
+' "$tmp" > "$out"
+
+echo "wrote $out" >&2
