@@ -112,6 +112,21 @@ func main() {
 				"nvram_recovered":   st1.NVRAMRecovered,
 			}
 		}))
+		// Node identity card for cluster tooling: when this daemon is one
+		// member of an internal/cluster volume, afraidctl and monitoring
+		// scrape these fields under the stable "afraid.node" key to line
+		// the member up against the volume geometry. Keep the keys stable.
+		expvar.Publish("afraid.node", expvar.Func(func() any {
+			g := st.Geometry()
+			return map[string]any{
+				"capacity":      st.Capacity(),
+				"stripe_unit":   g.StripeUnit,
+				"disks":         g.Disks,
+				"mode":          m.String(),
+				"dirty_stripes": st.DirtyStripes(),
+				"dead_disks":    len(st.DeadDisks()),
+			}
+		}))
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.Metrics().Handler())
 		mux.Handle("/debug/vars", expvar.Handler())

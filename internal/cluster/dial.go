@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"afraid/internal/server"
+)
+
+// Dial opens a volume over afraidd nodes at the given addresses, with
+// redial hooks wired so HealNode and the prober can reconnect members
+// that come back. Node i of the volume is addrs[i]; the order is the
+// striping geometry and must be stable across restarts.
+func Dial(addrs []string, opts Options) (*Volume, error) {
+	opts.fill()
+	members := make([]Member, len(addrs))
+	for i, a := range addrs {
+		a := a
+		members[i] = Member{
+			Addr: a,
+			Dial: func() (Node, error) {
+				c, err := server.DialTimeout(a, opts.DialTimeout)
+				if err != nil {
+					return nil, err
+				}
+				return c, nil
+			},
+		}
+	}
+	return Open(members, opts)
+}
+
+// VolumeStat is a point-in-time volume snapshot, the cluster mirror of
+// core.Store's Stat surface.
+type VolumeStat struct {
+	Capacity   int64
+	StripeUnit int64
+	Stripes    int64
+	Nodes      []NodeInfo
+	Stats      Stats
+}
+
+// Stat snapshots geometry, per-node health, and activity counters.
+func (v *Volume) Stat() VolumeStat {
+	return VolumeStat{
+		Capacity:   v.geo.Capacity(),
+		StripeUnit: v.geo.StripeUnit,
+		Stripes:    v.geo.Stripes(),
+		Nodes:      v.NodeStates(),
+		Stats:      v.Stats(),
+	}
+}

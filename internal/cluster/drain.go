@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ignoreNodeDown absorbs a node failure observed during background
+// parity work: the node is already demoted, the stripe stays dirty, and
+// a later drain (post-heal) retries. Anything else is a real error.
+func ignoreNodeDown(err error) error {
+	if errors.Is(err, ErrNodeDown) {
+		return nil
+	}
+	return err
+}
+
+// drainLoop is the volume's background parity engine: when the volume
+// has been quiet for DrainIdle, or whenever the dirty backlog breaches
+// MaxDirty, it walks the dirty stripes and rebuilds their parity units.
+func (v *Volume) drainLoop() {
+	defer v.wg.Done()
+	period := v.opts.DrainIdle / 2
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-v.stop:
+			return
+		case <-v.kick:
+		case <-t.C:
+		}
+		v.drainPass()
+	}
+}
+
+// drainPass drains the current dirty set once, yielding to foreground
+// traffic unless the unredundancy window has been breached.
+func (v *Volume) drainPass() {
+	for _, st := range v.DirtyList() {
+		select {
+		case <-v.stop:
+			return
+		default:
+		}
+		v.meta.Lock()
+		quiet := time.Since(v.lastIO) >= v.opts.DrainIdle
+		over := v.dirty.Count() > v.opts.MaxDirty
+		v.meta.Unlock()
+		if !quiet && !over {
+			return // fresh foreground I/O; back off until idle again
+		}
+		if _, _, err := v.drainStripe(context.Background(), st); err != nil {
+			return
+		}
+	}
+}
+
+// Flush drains every dirty stripe (Workers at a time) and then flushes
+// each reachable node so its own array settles too. If stripes cannot
+// be drained because nodes they need are down, Flush returns
+// ErrDegraded and leaves them marked — the exposure is preserved, not
+// forgotten.
+func (v *Volume) Flush(ctx context.Context) error {
+	v.meta.Lock()
+	closed := v.closed
+	v.meta.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	for {
+		list := v.DirtyList()
+		if len(list) == 0 {
+			break
+		}
+		drained, skipped, err := v.drainMany(ctx, list)
+		if err != nil {
+			return err
+		}
+		if drained == 0 {
+			if skipped > 0 {
+				return fmt.Errorf("%w: %d stripes", ErrDegraded, skipped)
+			}
+			break
+		}
+	}
+	return v.flushNodes(ctx)
+}
+
+// drainMany drains the listed stripes with bounded concurrency.
+func (v *Volume) drainMany(ctx context.Context, list []int64) (drained, skipped int64, err error) {
+	sem := make(chan struct{}, v.opts.Workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, st := range list {
+		if err := ctx.Err(); err != nil {
+			wg.Wait()
+			return drained, skipped, err
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(st int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ok, skip, err := v.drainStripe(ctx, st)
+			mu.Lock()
+			defer mu.Unlock()
+			if ok {
+				drained++
+			}
+			if skip {
+				skipped++
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(st)
+	}
+	wg.Wait()
+	return drained, skipped, firstErr
+}
+
+// flushNodes asks each reachable node to settle its own store.
+func (v *Volume) flushNodes(ctx context.Context) error {
+	var firstErr error
+	for i := range v.nodes {
+		n, gen, err := v.grab(i)
+		if err != nil {
+			continue // down node: nothing to flush there
+		}
+		cctx, cancel := v.nodeCtx(ctx)
+		err = n.Flush(cctx)
+		cancel()
+		if err = v.classify(ctx, i, gen, err); err != nil && firstErr == nil && !errors.Is(err, ErrNodeDown) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ParityPoint establishes a parity point over [off, off+length): on
+// return every stripe overlapping the range is redundant, the cluster
+// analogue of core.Store.ParityPoint. Stripes that cannot be drained
+// (down nodes) yield ErrDegraded.
+func (v *Volume) ParityPoint(ctx context.Context, off, length int64) error {
+	if err := v.checkRange(off, length); err != nil {
+		return err
+	}
+	if length == 0 {
+		return nil
+	}
+	sdb := v.geo.StripeDataBytes()
+	first, last := off/sdb, (off+length-1)/sdb
+	list := make([]int64, 0, last-first+1)
+	for st := first; st <= last; st++ {
+		list = append(list, st)
+	}
+	_, skipped, err := v.drainMany(ctx, list)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		return fmt.Errorf("%w: %d stripes", ErrDegraded, skipped)
+	}
+	return nil
+}

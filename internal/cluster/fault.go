@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultNode wraps a Node with node-level fault injection, the cluster
+// analogue of fault.Device: crash (fail-stop), partition (network cut),
+// slow node, a deterministic crash-after-N-ops trigger for reproducible
+// mid-write failures, and a seeded random fail-stop probability. Chaos
+// harnesses wrap each member in one and audit the volume's loss
+// contract the way afraidchaos audits a single array.
+type FaultNode struct {
+	inner Node
+
+	mu          sync.Mutex
+	crashed     bool
+	partitioned bool
+	slow        time.Duration
+	crashAfter  int64 // fail-stop before op N+1; <0 disabled
+	pFail       float64
+	rng         *rand.Rand
+	ops         int64
+	injected    int64
+}
+
+// FaultNodeStats counts traffic through the injector.
+type FaultNodeStats struct {
+	Ops      int64 // operations attempted (including injected failures)
+	Injected int64 // operations failed by injection
+}
+
+// NewFaultNode wraps inner. The seed drives the random fail-stop
+// trigger (SetFailProb); runs with the same seed and workload inject at
+// the same points.
+func NewFaultNode(inner Node, seed int64) *FaultNode {
+	return &FaultNode{inner: inner, crashAfter: -1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Crash fail-stops the node: every subsequent operation fails as
+// node-down until Restore.
+func (f *FaultNode) Crash() {
+	f.mu.Lock()
+	f.crashed = true
+	f.mu.Unlock()
+}
+
+// Partition cuts the node off as a network failure would; operationally
+// identical to Crash from the volume's point of view, kept distinct so
+// harness logs read true.
+func (f *FaultNode) Partition() {
+	f.mu.Lock()
+	f.partitioned = true
+	f.mu.Unlock()
+}
+
+// Restore clears crash, partition, slowness, and any pending triggers.
+// (The volume still considers the node down until healed.)
+func (f *FaultNode) Restore() {
+	f.mu.Lock()
+	f.crashed, f.partitioned = false, false
+	f.slow = 0
+	f.crashAfter = -1
+	f.pFail = 0
+	f.mu.Unlock()
+}
+
+// SetSlow adds a fixed delay to every operation — the brownout node a
+// NodeTimeout must eventually cut loose.
+func (f *FaultNode) SetSlow(d time.Duration) {
+	f.mu.Lock()
+	f.slow = d
+	f.mu.Unlock()
+}
+
+// CrashAfterOps arms a deterministic fail-stop: the next n operations
+// succeed, then the node crashes. n=0 crashes on the next operation.
+func (f *FaultNode) CrashAfterOps(n int64) {
+	f.mu.Lock()
+	f.crashAfter = n
+	f.mu.Unlock()
+}
+
+// SetFailProb makes each operation fail-stop the node with probability
+// p, drawn from the seeded generator.
+func (f *FaultNode) SetFailProb(p float64) {
+	f.mu.Lock()
+	f.pFail = p
+	f.mu.Unlock()
+}
+
+// Stats snapshots the injection counters.
+func (f *FaultNode) Stats() FaultNodeStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FaultNodeStats{Ops: f.ops, Injected: f.injected}
+}
+
+// gate applies the injection state to one operation.
+func (f *FaultNode) gate(ctx context.Context) error {
+	f.mu.Lock()
+	f.ops++
+	if f.crashAfter >= 0 {
+		if f.crashAfter == 0 {
+			f.crashed = true
+		}
+		f.crashAfter--
+	}
+	if !f.crashed && f.pFail > 0 && f.rng.Float64() < f.pFail {
+		f.crashed = true
+	}
+	dead := f.crashed || f.partitioned
+	slow := f.slow
+	if dead {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if dead {
+		return fmt.Errorf("%w: injected fault", ErrNodeDown)
+	}
+	if slow > 0 {
+		t := time.NewTimer(slow)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
+// ReadAtContext implements Node.
+func (f *FaultNode) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := f.gate(ctx); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAtContext(ctx, p, off)
+}
+
+// WriteAtContext implements Node.
+func (f *FaultNode) WriteAtContext(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := f.gate(ctx); err != nil {
+		return 0, err
+	}
+	return f.inner.WriteAtContext(ctx, p, off)
+}
+
+// Flush implements Node.
+func (f *FaultNode) Flush(ctx context.Context) error {
+	if err := f.gate(ctx); err != nil {
+		return err
+	}
+	return f.inner.Flush(ctx)
+}
+
+// Ping implements Node.
+func (f *FaultNode) Ping(ctx context.Context) error {
+	if err := f.gate(ctx); err != nil {
+		return err
+	}
+	return f.inner.Ping(ctx)
+}
+
+// Capacity implements Node. It is volume-open metadata, not I/O, and is
+// not gated.
+func (f *FaultNode) Capacity() int64 { return f.inner.Capacity() }
+
+// Close implements Node.
+func (f *FaultNode) Close() error { return f.inner.Close() }

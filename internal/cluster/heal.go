@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"afraid/internal/bufpool"
+	"afraid/internal/layout"
+	"afraid/internal/parity"
+)
+
+// HealReport summarises one heal sweep.
+type HealReport struct {
+	Healed int64 // stripe units rebuilt onto the node
+	// Lost lists stripes whose contents on this node are unrecoverable:
+	// they were unredundant (dirty) when the node went down, so neither
+	// the unit nor the parity to rebuild it survives. They stay marked
+	// — reads keep reporting ErrDataLoss until a client rewrites them —
+	// honouring the contract that loss is always reported.
+	Lost []int64
+	// Remaining counts stripes skipped because another node they need
+	// was unavailable; a later sweep can finish them.
+	Remaining int64
+}
+
+// HealNode brings node i back into the volume: redial it if it is down
+// (Member.Dial), then rebuild exactly the stripe units it missed —
+// its stale map, or every stripe when full is set (the "replaced with a
+// blank machine" case). Safe to run while the volume serves I/O;
+// concurrent writes to a stripe being healed are serialised by the
+// stripe locks.
+func (v *Volume) HealNode(ctx context.Context, i int, full bool) (HealReport, error) {
+	var rep HealReport
+	if i < 0 || i >= len(v.nodes) {
+		return rep, fmt.Errorf("cluster: no node %d", i)
+	}
+	v.meta.Lock()
+	m := v.nodes[i]
+	if v.closed {
+		v.meta.Unlock()
+		return rep, ErrClosed
+	}
+	needDial := m.state == StateDown || m.node == nil
+	dial := m.dial
+	v.meta.Unlock()
+
+	if needDial {
+		if dial == nil {
+			return rep, fmt.Errorf("%w: node %d has no dialer", ErrNodeDown, i)
+		}
+		n, err := dial()
+		if err != nil {
+			return rep, fmt.Errorf("cluster: redial node %d: %w", i, err)
+		}
+		if c := n.Capacity(); c < v.geo.DiskSize {
+			n.Close()
+			return rep, fmt.Errorf("cluster: node %d shrank: capacity %d < %d", i, c, v.geo.DiskSize)
+		}
+		v.meta.Lock()
+		m.node = n
+		m.state = StateUp
+		m.lastErr = nil
+		m.gen++
+		v.meta.Unlock()
+		v.logf("cluster: node %d (%s) redialed, healing", i, m.addr)
+	}
+
+	var stripes []int64
+	if full {
+		stripes = make([]int64, 0, v.geo.Stripes())
+		for st := int64(0); st < v.geo.Stripes(); st++ {
+			stripes = append(stripes, st)
+		}
+	} else {
+		v.meta.Lock()
+		stripes = m.stale.Marked()
+		v.meta.Unlock()
+	}
+	for _, st := range stripes {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		v.healStripe(ctx, i, st, full, &rep)
+	}
+	// Stripes left dirty (parity-role backlog, loss survivors) are the
+	// drain's problem now.
+	select {
+	case v.kick <- struct{}{}:
+	default:
+	}
+	return rep, nil
+}
+
+// healStripe rebuilds node i's unit of one stripe, if it needs it.
+func (v *Volume) healStripe(ctx context.Context, i int, st int64, full bool, rep *HealReport) {
+	lk := v.stripeLock(st)
+	lk.Lock()
+	defer lk.Unlock()
+	t0 := time.Now()
+
+	v.meta.Lock()
+	m := v.nodes[i]
+	up := m.state == StateUp && m.node != nil
+	stale := m.stale.IsMarked(st)
+	dirty := v.dirty.IsMarked(st)
+	v.meta.Unlock()
+	if !up {
+		rep.Remaining++ // node died again mid-sweep
+		return
+	}
+	role, dIdx := v.geo.RoleOf(st, i)
+	switch role {
+	case layout.Parity:
+		if !stale && !dirty && !full {
+			return
+		}
+		// A suspect parity unit is healed by recomputation, which also
+		// drains the stripe if it was dirty.
+		if v.recomputeParity(ctx, st) != nil {
+			rep.Remaining++
+			return
+		}
+		if stale || dirty {
+			rep.Healed++
+			v.bumpHealed(t0)
+		}
+	case layout.Data:
+		// full treats every unit as suspect (blank replacement node);
+		// otherwise only units the stale map says were missed.
+		if !stale && !full {
+			return
+		}
+		if dirty {
+			// Unredundant at failure time: the unit is gone and parity
+			// cannot bring it back. Report, keep the marks, move on.
+			rep.Lost = append(rep.Lost, st)
+			v.meta.Lock()
+			v.stats.LostStripes++
+			v.meta.Unlock()
+			return
+		}
+		if v.rebuildUnit(ctx, st, dIdx, i) != nil {
+			rep.Remaining++
+			return
+		}
+		v.meta.Lock()
+		m.stale.Unmark(st)
+		v.stats.HealedStripes++
+		v.persistMarksLocked()
+		v.meta.Unlock()
+		rep.Healed++
+		v.ob.heal.Observe(time.Since(t0))
+	}
+}
+
+func (v *Volume) bumpHealed(t0 time.Time) {
+	v.meta.Lock()
+	v.stats.HealedStripes++
+	v.meta.Unlock()
+	v.ob.heal.Observe(time.Since(t0))
+}
+
+// recomputeParity reads every data unit of a clean-or-dirty stripe,
+// recomputes parity, and writes it to the parity node, clearing the
+// dirty and parity-stale bits. Caller holds the stripe lock.
+func (v *Volume) recomputeParity(ctx context.Context, st int64) error {
+	n := v.geo.DataDisks()
+	v.meta.Lock()
+	ok := true
+	for idx := 0; idx < n; idx++ {
+		if !v.availLocked(v.geo.DataDisk(st, idx), st) {
+			ok = false
+		}
+	}
+	v.meta.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: stripe %d data incomplete", ErrNodeDown, st)
+	}
+	units := make([][]byte, n)
+	for idx := range units {
+		units[idx] = bufpool.Get(int(v.geo.StripeUnit))
+	}
+	pbuf := bufpool.Get(int(v.geo.StripeUnit))
+	defer func() {
+		for _, b := range units {
+			bufpool.Put(b)
+		}
+		bufpool.Put(pbuf)
+	}()
+	if err := v.readUnits(ctx, st, units); err != nil {
+		return err
+	}
+	parity.Compute(pbuf, units...)
+	pNode := v.geo.ParityDisk(st)
+	if err := v.nodeWrite(ctx, pNode, pbuf, v.geo.DiskOffset(st)); err != nil {
+		return err
+	}
+	v.meta.Lock()
+	v.dirty.Unmark(st)
+	v.nodes[pNode].stale.Unmark(st)
+	err := v.persistMarksLocked()
+	v.meta.Unlock()
+	return err
+}
+
+// rebuildUnit reconstructs data unit dIdx of a clean stripe from the
+// other data units plus parity and writes it to node. Caller holds the
+// stripe lock.
+func (v *Volume) rebuildUnit(ctx context.Context, st int64, dIdx, node int) error {
+	n := v.geo.DataDisks()
+	v.meta.Lock()
+	ok := v.availLocked(v.geo.ParityDisk(st), st)
+	for idx := 0; idx < n; idx++ {
+		if idx != dIdx && !v.availLocked(v.geo.DataDisk(st, idx), st) {
+			ok = false
+		}
+	}
+	v.meta.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: stripe %d survivors incomplete", ErrNodeDown, st)
+	}
+	units := make([][]byte, n)
+	for idx := 0; idx < n; idx++ {
+		if idx != dIdx {
+			units[idx] = bufpool.Get(int(v.geo.StripeUnit))
+		}
+	}
+	pbuf := bufpool.Get(int(v.geo.StripeUnit))
+	rebuilt := bufpool.Get(int(v.geo.StripeUnit))
+	defer func() {
+		for _, b := range units {
+			if b != nil {
+				bufpool.Put(b)
+			}
+		}
+		bufpool.Put(pbuf)
+		bufpool.Put(rebuilt)
+	}()
+	if err := v.readUnits(ctx, st, units); err != nil {
+		return err
+	}
+	if err := v.nodeRead(ctx, v.geo.ParityDisk(st), pbuf, v.geo.DiskOffset(st)); err != nil {
+		return err
+	}
+	survivors := make([][]byte, 0, n-1)
+	for idx := 0; idx < n; idx++ {
+		if idx != dIdx {
+			survivors = append(survivors, units[idx])
+		}
+	}
+	parity.Reconstruct(rebuilt, pbuf, survivors...)
+	return v.nodeWrite(ctx, node, rebuilt, v.geo.DiskOffset(st))
+}
+
+// VerifyParity audits every clean stripe: read all data units plus
+// parity and check the XOR. It returns the stripes that fail (bad) and
+// the count it could not check (dirty, or nodes down). A non-empty bad
+// list means redundancy the marking memory believes exists does not —
+// the cluster analogue of afraidsim's torn-parity detection.
+func (v *Volume) VerifyParity(ctx context.Context) (bad []int64, skipped int64, err error) {
+	for st := int64(0); st < v.geo.Stripes(); st++ {
+		if err := ctx.Err(); err != nil {
+			return bad, skipped, err
+		}
+		ok, checkErr := v.verifyStripe(ctx, st)
+		if checkErr != nil {
+			if ignoreNodeDown(checkErr) == nil {
+				skipped++
+				continue
+			}
+			return bad, skipped, checkErr
+		}
+		if !ok {
+			bad = append(bad, st)
+		}
+	}
+	return bad, skipped, nil
+}
+
+func (v *Volume) verifyStripe(ctx context.Context, st int64) (ok bool, err error) {
+	lk := v.stripeLock(st)
+	lk.Lock()
+	defer lk.Unlock()
+	h := v.health(st)
+	if h.dirty || len(h.badIdx) > 0 || !h.parityRead {
+		return true, fmt.Errorf("%w: stripe %d unverifiable", ErrNodeDown, st)
+	}
+	n := v.geo.DataDisks()
+	units := make([][]byte, n)
+	for idx := range units {
+		units[idx] = bufpool.Get(int(v.geo.StripeUnit))
+	}
+	pbuf := bufpool.Get(int(v.geo.StripeUnit))
+	defer func() {
+		for _, b := range units {
+			bufpool.Put(b)
+		}
+		bufpool.Put(pbuf)
+	}()
+	if err := v.readUnits(ctx, st, units); err != nil {
+		return true, err
+	}
+	if err := v.nodeRead(ctx, v.geo.ParityDisk(st), pbuf, v.geo.DiskOffset(st)); err != nil {
+		return true, err
+	}
+	return parity.Check(pbuf, units...), nil
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"afraid/internal/nvram"
+)
+
+// marksMagic heads the volume's persisted marking memory: the dirty map
+// plus one stale map per node, the cluster's whole recovery state.
+const marksMagic = "AFCLMK1\n"
+
+// persistMarksLocked serialises the dirty and stale maps into the
+// configured NVRAM. Callers hold meta. With no NVRAM configured the
+// marks are memory-only (a volume-host crash then costs a full parity
+// rebuild, exactly like running an array without NVRAM).
+func (v *Volume) persistMarksLocked() error {
+	if v.opts.NV == nil {
+		return nil
+	}
+	blob := make([]byte, 0, 64)
+	blob = append(blob, marksMagic...)
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(len(v.nodes)))
+	blob = appendBlob(blob, v.dirty.Serialize())
+	for _, m := range v.nodes {
+		blob = appendBlob(blob, m.stale.Serialize())
+	}
+	if err := v.opts.NV.Store(blob); err != nil {
+		return fmt.Errorf("cluster: persist marks: %w", err)
+	}
+	return nil
+}
+
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func takeBlob(src []byte) (blob, rest []byte, err error) {
+	if len(src) < 4 {
+		return nil, nil, fmt.Errorf("truncated length")
+	}
+	n := binary.LittleEndian.Uint32(src)
+	src = src[4:]
+	if uint32(len(src)) < n {
+		return nil, nil, fmt.Errorf("truncated blob")
+	}
+	return src[:n], src[n:], nil
+}
+
+// recoverMarks restores the marking memory from NVRAM at Open. An
+// absent image means a fresh volume. An unusable one (bad magic, wrong
+// shape) triggers the paper's NVRAM-loss recovery, cluster-wide: every
+// stripe is marked for parity rebuild and the event is flagged in
+// Stats.Recovered. The data on reachable nodes is trusted — what is
+// lost is the knowledge of which parity units lag it.
+func (v *Volume) recoverMarks() error {
+	if v.opts.NV == nil {
+		return nil
+	}
+	img, err := v.opts.NV.Load()
+	if err != nil {
+		return fmt.Errorf("cluster: load marks: %w", err)
+	}
+	if len(img) == 0 {
+		return nil // fresh marking memory
+	}
+	dirty, stales, perr := parseMarks(img, len(v.nodes), v.geo.Stripes())
+	if perr != nil {
+		v.logf("cluster: marking memory unusable (%v); recovering with full parity rebuild", perr)
+		v.meta.Lock()
+		markAll(v.dirty)
+		v.stats.Recovered = true
+		v.meta.Unlock()
+		return nil
+	}
+	v.meta.Lock()
+	v.dirty = dirty
+	for i, m := range v.nodes {
+		m.stale = stales[i]
+	}
+	if c := dirty.Count(); c > v.stats.DirtyHighWater {
+		v.stats.DirtyHighWater = c
+	}
+	v.meta.Unlock()
+	return nil
+}
+
+func parseMarks(img []byte, nodes int, stripes int64) (*nvram.Bitmap, []*nvram.Bitmap, error) {
+	if len(img) < len(marksMagic)+4 || string(img[:len(marksMagic)]) != marksMagic {
+		return nil, nil, fmt.Errorf("bad magic")
+	}
+	rest := img[len(marksMagic):]
+	n := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if int(n) != nodes {
+		return nil, nil, fmt.Errorf("image for %d nodes, volume has %d", n, nodes)
+	}
+	blob, rest, err := takeBlob(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirty, err := nvram.Deserialize(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dirty.Stripes() != stripes {
+		return nil, nil, fmt.Errorf("dirty map for %d stripes, volume has %d", dirty.Stripes(), stripes)
+	}
+	stales := make([]*nvram.Bitmap, nodes)
+	for i := 0; i < nodes; i++ {
+		blob, rest, err = takeBlob(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		if stales[i], err = nvram.Deserialize(blob); err != nil {
+			return nil, nil, err
+		}
+		if stales[i].Stripes() != stripes {
+			return nil, nil, fmt.Errorf("stale map %d wrong size", i)
+		}
+	}
+	return dirty, stales, nil
+}

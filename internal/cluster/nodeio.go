@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"afraid/internal/obs"
+	"afraid/internal/server"
+)
+
+// volObs bundles the volume's latency instrumentation: one read and one
+// write histogram per node (so a slow member stands out in Summaries),
+// plus drain and heal timings.
+type volObs struct {
+	reg       *obs.Registry
+	nodeRead  []*obs.Histogram
+	nodeWrite []*obs.Histogram
+	drain     *obs.Histogram
+	heal      *obs.Histogram
+}
+
+func newVolObs(n int) *volObs {
+	ob := &volObs{
+		reg:       obs.NewRegistry(),
+		nodeRead:  make([]*obs.Histogram, n),
+		nodeWrite: make([]*obs.Histogram, n),
+	}
+	for i := 0; i < n; i++ {
+		ob.nodeRead[i] = ob.reg.Histogram(fmt.Sprintf("node%d.read", i))
+		ob.nodeWrite[i] = ob.reg.Histogram(fmt.Sprintf("node%d.write", i))
+	}
+	ob.drain = ob.reg.Histogram("drain.stripe")
+	ob.heal = ob.reg.Histogram("heal.stripe")
+	return ob
+}
+
+// Obs exposes the volume's metrics registry (per-node read/write
+// latency, drain and heal timings) for status tooling.
+func (v *Volume) Obs() *obs.Registry { return v.ob.reg }
+
+// nodeCtx derives the per-node operation deadline. It is the volume's
+// slow-node bound: a member that exceeds it is treated as down rather
+// than allowed to stall every stripe it participates in.
+func (v *Volume) nodeCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if v.opts.NodeTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, v.opts.NodeTimeout)
+}
+
+// grab snapshots the member's connection for one operation.
+func (v *Volume) grab(i int) (n Node, gen uint64, err error) {
+	v.meta.Lock()
+	defer v.meta.Unlock()
+	m := v.nodes[i]
+	if m.state != StateUp || m.node == nil {
+		return nil, 0, fmt.Errorf("%w: node %d (%s)", ErrNodeDown, i, m.addr)
+	}
+	return m.node, m.gen, nil
+}
+
+// nodeRead fills p from node i at off, observing latency and demoting
+// the node on a connection-class failure.
+func (v *Volume) nodeRead(ctx context.Context, i int, p []byte, off int64) error {
+	n, gen, err := v.grab(i)
+	if err != nil {
+		return err
+	}
+	cctx, cancel := v.nodeCtx(ctx)
+	t0 := time.Now()
+	_, err = n.ReadAtContext(cctx, p, off)
+	cancel()
+	v.ob.nodeRead[i].Observe(time.Since(t0))
+	return v.classify(ctx, i, gen, err)
+}
+
+// nodeWrite writes p to node i at off. A write that *fails mid-op*
+// leaves the target unit torn — old, new, or mixed — so the unit is
+// marked stale for its stripe before the error propagates: the volume
+// never trusts bytes whose write it cannot prove completed. (Every
+// nodeWrite targets a single stripe unit, so the stripe is off's.)
+func (v *Volume) nodeWrite(ctx context.Context, i int, p []byte, off int64) error {
+	n, gen, err := v.grab(i)
+	if err != nil {
+		return err
+	}
+	cctx, cancel := v.nodeCtx(ctx)
+	t0 := time.Now()
+	_, err = n.WriteAtContext(cctx, p, off)
+	cancel()
+	v.ob.nodeWrite[i].Observe(time.Since(t0))
+	if err != nil {
+		st := off / v.geo.StripeUnit
+		v.meta.Lock()
+		if v.nodes[i].stale.Mark(st) {
+			v.persistMarksLocked() // best effort; the bits survive in memory
+		}
+		v.meta.Unlock()
+	}
+	return v.classify(ctx, i, gen, err)
+}
+
+// classify decides whether an operation error means the *node* is gone
+// (demote, return ErrNodeDown so span loops re-route) or the operation
+// merely failed (pass through). A caller-cancelled context is never
+// blamed on the node.
+func (v *Volume) classify(ctx context.Context, i int, gen uint64, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if !isNodeDownErr(err) {
+		return err
+	}
+	v.markDown(i, gen, err)
+	return fmt.Errorf("%w: node %d: %v", ErrNodeDown, i, err)
+}
+
+// isNodeDownErr reports whether err indicates the node (or the path to
+// it) is gone, as opposed to a request-level failure like ErrDataLoss
+// that the node itself reported.
+func isNodeDownErr(err error) bool {
+	if errors.Is(err, ErrNodeDown) || // FaultNode injections
+		errors.Is(err, server.ErrConnectionLost) ||
+		errors.Is(err, server.ErrShutdown) ||
+		errors.Is(err, context.DeadlineExceeded) || // NodeTimeout fired
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// markDown transitions node i to StateDown. The gen check makes demote
+// racing redial safe: a failure observed on the old connection cannot
+// kill a freshly dialed one.
+func (v *Volume) markDown(i int, gen uint64, cause error) {
+	v.meta.Lock()
+	m := v.nodes[i]
+	if m.gen != gen || m.state == StateDown {
+		v.meta.Unlock()
+		return
+	}
+	m.state = StateDown
+	m.lastErr = cause
+	old := m.node
+	m.node = nil
+	v.stats.NodeFailovers++
+	v.meta.Unlock()
+	if old != nil {
+		go old.Close()
+	}
+	v.logf("cluster: node %d (%s) down: %v", i, m.addr, cause)
+}
+
+// FailNode manually demotes a node, as if its next operation had failed
+// — the administrative "I am taking this machine away" switch.
+func (v *Volume) FailNode(i int) error {
+	if i < 0 || i >= len(v.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	v.meta.Lock()
+	gen := v.nodes[i].gen
+	v.meta.Unlock()
+	v.markDown(i, gen, errors.New("administratively failed"))
+	return nil
+}
+
+func (v *Volume) logf(format string, args ...any) {
+	if v.opts.Logf != nil {
+		v.opts.Logf(format, args...)
+	}
+}
+
+// probeLoop is the optional background health prober: it pings up
+// nodes so a silently dead one is demoted before a client write trips
+// over it, and redials+heals down nodes when they answer again.
+func (v *Volume) probeLoop() {
+	defer v.wg.Done()
+	t := time.NewTicker(v.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-v.stop:
+			return
+		case <-t.C:
+		}
+		for i := range v.nodes {
+			select {
+			case <-v.stop:
+				return
+			default:
+			}
+			v.probeNode(i)
+		}
+	}
+}
+
+func (v *Volume) probeNode(i int) {
+	v.meta.Lock()
+	m := v.nodes[i]
+	state, n, gen := m.state, m.node, m.gen
+	v.meta.Unlock()
+	switch {
+	case state == StateUp && n != nil:
+		ctx, cancel := context.WithTimeout(context.Background(), v.opts.NodeTimeout)
+		err := n.Ping(ctx)
+		cancel()
+		if err != nil && isNodeDownErr(err) {
+			v.markDown(i, gen, err)
+		}
+	case state == StateDown && m.dial != nil:
+		ctx, cancel := context.WithTimeout(context.Background(), v.opts.NodeTimeout)
+		defer cancel()
+		if _, err := v.HealNode(ctx, i, false); err == nil {
+			v.logf("cluster: node %d (%s) back up, heal scheduled", i, m.addr)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"afraid/internal/core"
 )
@@ -23,12 +24,23 @@ var (
 	ErrShutdown = errors.New("server: shutting down")
 	// ErrBadRequest means the server rejected the request as invalid.
 	ErrBadRequest = errors.New("server: bad request")
+	// ErrConnectionLost wraps every error reported after the client's
+	// connection has failed. Callers that pool or route over several
+	// servers (internal/cluster) test for it with errors.Is to tell a
+	// dead node from an op-level failure.
+	ErrConnectionLost = errors.New("server: connection lost")
 )
 
 // Client speaks the block protocol over one connection. It is safe for
 // concurrent use: every request carries a unique ID, concurrent calls
 // pipeline onto the connection, and a background reader completes them
 // in whatever order the server finishes (out-of-order completion).
+//
+// A Client is bound to its one connection for life: once the connection
+// fails, every past and future call reports an error wrapping
+// ErrConnectionLost and the Client cannot be revived — dial a fresh one.
+// Err exposes the terminal state so a routing layer can decide to
+// redial without issuing a probe request.
 type Client struct {
 	nc         net.Conn
 	br         *bufio.Reader
@@ -59,8 +71,31 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// DialTimeout is Dial with a bound covering both the TCP connect and
+// the protocol handshake, so a black-holed address cannot wedge the
+// caller for the kernel's connect timeout plus an unbounded handshake
+// read. A cluster layer probing a possibly-dead node wants this, not
+// Dial. d <= 0 means no bound.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	if d > 0 {
+		nc.SetDeadline(time.Now().Add(d))
+	}
+	c, err := NewClient(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
 // NewClient performs the handshake over an established connection and
-// starts the response reader. The client owns nc from here on.
+// starts the response reader. The client owns nc from here on. Any
+// deadline the caller armed on nc (see DialTimeout) is cleared once the
+// handshake completes, so it bounds only the setup.
 func NewClient(nc net.Conn) (*Client, error) {
 	if _, err := nc.Write([]byte(Magic)); err != nil {
 		return nil, fmt.Errorf("server: handshake write: %w", err)
@@ -84,6 +119,7 @@ func NewClient(nc net.Conn) (*Client, error) {
 	if maxPayload == 0 {
 		return nil, fmt.Errorf("server: handshake advertises zero payload limit")
 	}
+	nc.SetDeadline(time.Time{}) // handshake done; steady-state I/O is unbounded
 	c := &Client{
 		nc:         nc,
 		br:         br,
@@ -124,16 +160,27 @@ func (c *Client) readLoop() {
 	}
 }
 
-// fail records the terminal error and releases every waiter.
+// fail records the terminal error and releases every waiter. From here
+// the client is permanently dead: there is no reconnect path, by design
+// — request IDs, the pipeline window, and the server's per-connection
+// coalescing state are all connection-scoped, so a transparent redial
+// would silently drop in-flight requests. Routing layers detect the
+// state via errors.Is(err, ErrConnectionLost) or Err and dial afresh.
 func (c *Client) fail(err error) {
-	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-		err = fmt.Errorf("server: connection closed: %w", err)
-	}
+	err = fmt.Errorf("%w: %v", ErrConnectionLost, err)
 	c.mu.Lock()
 	c.err = err
 	c.pending = nil
 	c.mu.Unlock()
 	close(c.done)
+}
+
+// Err returns the terminal connection error (wrapping
+// ErrConnectionLost), or nil while the client is usable.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // start registers a fresh request ID, sends the frame, and returns the
@@ -159,7 +206,7 @@ func (c *Client) start(req *Request) (uint64, chan Response, error) {
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)
-		return 0, nil, fmt.Errorf("server: send: %w", err)
+		return 0, nil, fmt.Errorf("%w: send: %v", ErrConnectionLost, err)
 	}
 	return id, ch, nil
 }
@@ -238,7 +285,10 @@ type chunkCall struct {
 // than the server's payload limit into chunks pipelined onto the
 // connection (up to pipelineWindow outstanding at once). Completions
 // are collected in issue order, so the returned count is always the
-// contiguous prefix of p that was filled.
+// contiguous prefix of p that was filled. ctx is checked before every
+// chunk issue as well as while waiting, so a cancelled context stops a
+// large split read promptly instead of pushing the rest of the window
+// at a server that may be stalled.
 func (c *Client) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
 	var inflight []chunkCall
 	defer func() {
@@ -248,6 +298,9 @@ func (c *Client) ReadAtContext(ctx context.Context, p []byte, off int64) (int, e
 	}()
 	n, sent := 0, 0
 	for sent < len(p) || len(inflight) > 0 {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
 		if sent < len(p) && len(inflight) < pipelineWindow {
 			chunk := len(p) - sent
 			if chunk > int(c.maxPayload) {
@@ -285,7 +338,9 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 // server's payload limit into chunks pipelined onto the connection (up
 // to pipelineWindow outstanding; the server may re-coalesce adjacent
 // ones). Completions are collected in issue order, so the returned
-// count is always the contiguous prefix of p that was written.
+// count is always the contiguous prefix of p that was written. ctx is
+// checked before every chunk issue as well as while waiting, so a
+// cluster-level timeout abandons the remaining chunks promptly.
 func (c *Client) WriteAtContext(ctx context.Context, p []byte, off int64) (int, error) {
 	var inflight []chunkCall
 	defer func() {
@@ -295,6 +350,9 @@ func (c *Client) WriteAtContext(ctx context.Context, p []byte, off int64) (int, 
 	}()
 	n, sent := 0, 0
 	for sent < len(p) || len(inflight) > 0 {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
 		if sent < len(p) && len(inflight) < pipelineWindow {
 			chunk := len(p) - sent
 			if chunk > int(c.maxPayload) {
@@ -331,6 +389,16 @@ func (c *Client) Scrub(ctx context.Context, off, length int64) error {
 		return fmt.Errorf("%w: scrub length %d does not fit the wire's u32", ErrBadRequest, length)
 	}
 	_, err := c.do(ctx, &Request{Op: OpScrub, Off: off, Length: uint32(length)})
+	return err
+}
+
+// Ping performs a minimal health-check round trip: a version-1 STAT
+// whose payload is discarded. It is the cheapest request the protocol
+// offers (no store I/O, a few dozen bytes each way), so a cluster layer
+// can probe node liveness on a tight deadline without waiting out a
+// full request timeout on a real transfer.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: OpStat})
 	return err
 }
 

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"afraid/internal/core"
+)
+
+// startStalledServer speaks just enough protocol to complete the
+// handshake, then never reads another byte and never responds: the
+// degenerate node a cluster-level timeout must cut loose promptly. It
+// advertises a tiny payload limit so client transfers split into many
+// chunks and exercise the windowed-pipelining loop.
+func startStalledServer(t *testing.T, maxPayload uint32) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				magic := make([]byte, len(Magic))
+				if _, err := io.ReadFull(nc, magic); err != nil {
+					return
+				}
+				reply := append([]byte(Magic), appendUint64(nil, 1<<20)...)
+				reply = appendUint32(reply, maxPayload)
+				if _, err := nc.Write(reply); err != nil {
+					return
+				}
+				<-stop // hold the connection open, reading nothing
+			}(nc)
+		}
+	}()
+	t.Cleanup(func() {
+		close(stop)
+		lis.Close()
+	})
+	return lis.Addr().String()
+}
+
+// TestWriteAtContextAbandonsChunksOnCancel is the regression test for
+// ctx propagation into the windowed chunk loop: with the server stalled
+// (handshake done, nothing read or answered since), a large split write
+// under a short deadline must return promptly with the context error
+// instead of waiting out the chunk completions that will never come.
+func TestWriteAtContextAbandonsChunksOnCancel(t *testing.T) {
+	// 1K chunks keep the 16-chunk pipeline window well under the
+	// socket buffers, so the issue loop never blocks in a raw write.
+	addr := startStalledServer(t, 1024)
+	c, err := DialTimeout(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	buf := make([]byte, 64<<10) // 64 chunks at 1K — several full windows
+	start := time.Now()
+	_, err = c.WriteAtContext(ctx, buf, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WriteAtContext = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("WriteAtContext took %v after a 150ms deadline", d)
+	}
+}
+
+// TestReadAtContextPreCancelled checks the issue-side ctx gate: a
+// context cancelled before the call must stop the loop before it pushes
+// a window of chunk requests at the (stalled) server.
+func TestReadAtContextPreCancelled(t *testing.T) {
+	addr := startStalledServer(t, 4096)
+	c, err := DialTimeout(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := c.ReadAtContext(ctx, make([]byte, 64<<10), 0)
+	if n != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadAtContext = (%d, %v), want (0, Canceled)", n, err)
+	}
+	if got := c.Err(); got != nil {
+		t.Fatalf("client terminally failed by a cancelled read: %v", got)
+	}
+}
+
+// TestDialTimeoutHandshake bounds the setup path: a listener that
+// accepts but never answers the handshake must fail DialTimeout within
+// the bound rather than hanging on the handshake read.
+func TestDialTimeoutHandshake(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close() // accept and go mute
+		}
+	}()
+	start := time.Now()
+	if _, err := DialTimeout(lis.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Fatal("DialTimeout succeeded against a mute listener")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("DialTimeout took %v with a 200ms bound", d)
+	}
+}
+
+// TestPingAndConnectionLost exercises the health-check round trip and
+// the terminal-state contract: Ping succeeds against a live server,
+// and after the server goes away every call (and Err) reports
+// ErrConnectionLost.
+func TestPingAndConnectionLost(t *testing.T) {
+	srv, _, addr := startServer(t, core.Options{Mode: core.Afraid, ScrubIdle: time.Hour}, Options{})
+	c, err := DialTimeout(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := c.Ping(ctx)
+		if errors.Is(err, ErrConnectionLost) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Ping after server close = %v, want ErrConnectionLost", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := c.Err(); !errors.Is(err, ErrConnectionLost) {
+		t.Fatalf("Err = %v, want ErrConnectionLost", err)
+	}
+}
