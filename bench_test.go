@@ -373,6 +373,49 @@ func BenchmarkStoreScrub(b *testing.B) {
 	}
 }
 
+// BenchmarkChecksumVerify measures what the end-to-end block checksums
+// cost on the hot paths: one CRC32C verify per unit read, one CRC32C +
+// 8-byte slot write per unit written. RAID 0 isolates the checksum
+// layer from parity work; the checksums=off runs are the baseline.
+func BenchmarkChecksumVerify(b *testing.B) {
+	for _, checksums := range []bool{false, true} {
+		devs := make([]BlockDevice, 5)
+		for i := range devs {
+			devs[i] = NewMemDevice(16 << 20)
+		}
+		s, err := OpenStore(devs, nil, StoreOptions{
+			Mode: StoreRAID0, DisableScrubber: true, Checksums: checksums,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		span := s.Geometry().StripeDataBytes()
+		stripes := s.Geometry().Stripes()
+		buf := make([]byte, span)
+		name := "off"
+		if checksums {
+			name = "on"
+		}
+		b.Run("write/checksums="+name, func(b *testing.B) {
+			b.SetBytes(span)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.WriteAt(buf, (int64(i)%stripes)*span); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("read/checksums="+name, func(b *testing.B) {
+			b.SetBytes(span)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ReadAt(buf, (int64(i)%stripes)*span); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		s.Close()
+	}
+}
+
 // latencyDev adds a fixed service time to every I/O, standing in for a
 // real disk so the flush benchmark measures I/O overlap rather than
 // memcpy speed. Without it, memory-backed rebuilds are bandwidth-bound

@@ -1,8 +1,9 @@
 // Command afraidchaos runs seeded chaos schedules against the
 // functional store: randomized workloads interrupted by power cuts,
 // marking-memory loss, transient member faults, disk failures, and
-// repairs, with every episode checked against the shadow model in
-// internal/fault. An episode *survives* when nothing was lost, is
+// repairs — plus, with -checksums (the default), silent bit flips on
+// both I/O paths that the store's block checksums must catch — with
+// every episode checked against the shadow model in internal/fault. An episode *survives* when nothing was lost, is
 // *lost* when data was lost but the loss was legal and reported (the
 // paper's exposure window), and is *violated* when the store broke its
 // contract — silent divergence, unreported loss, or loss outside the
@@ -36,6 +37,8 @@ func main() {
 	ops := flag.Int("ops", 0, "workload operations per episode (0 = harness default)")
 	disks := flag.Int("disks", 0, "member disks (0 = harness default)")
 	stripes := flag.Int64("stripes", 0, "stripes per disk (0 = harness default)")
+	checksums := flag.Bool("checksums", true, "open stores with block checksums and arm silent bit flips")
+	flips := flag.Bool("flips", true, "arm silent bit-flip faults (with -checksums=false they go undetected)")
 	verbose := flag.Bool("v", false, "print every episode")
 	failFast := flag.Bool("fail-fast", false, "stop at the first violation")
 	flag.Parse()
@@ -55,7 +58,7 @@ func main() {
 	for i := 0; i < *episodes; i++ {
 		mode := modes[i%len(modes)]
 		epSeed := *seed + int64(i)
-		cfg := schedule(epSeed, mode)
+		cfg := schedule(epSeed, mode, *checksums, *flips)
 		cfg.Ops = *ops
 		cfg.Disks = *disks
 		cfg.StripesPerDisk = *stripes
@@ -72,20 +75,22 @@ func main() {
 		}
 		for _, v := range res.Violations {
 			violations = append(violations,
-				fmt.Sprintf("seed=%d mode=%v: %s\n  repro: afraidchaos -seed %d -episodes 1 -modes %v",
-					epSeed, mode, v, epSeed, mode))
+				fmt.Sprintf("seed=%d mode=%v: %s\n  repro: afraidchaos -seed %d -episodes 1 -modes %v -checksums=%v -flips=%v",
+					epSeed, mode, v, epSeed, mode, *checksums, *flips))
 		}
 		if *failFast && len(violations) > 0 {
 			break
 		}
 	}
 
-	fmt.Printf("\n%-8s %9s %9s %6s %9s %6s %11s %9s\n",
-		"policy", "episodes", "survived", "lost", "violated", "crash", "lost-bytes", "repaired")
+	fmt.Printf("\n%-8s %9s %9s %6s %9s %6s %11s %9s %6s %9s %6s\n",
+		"policy", "episodes", "survived", "lost", "violated", "crash", "lost-bytes", "repaired",
+		"flips", "csum-fix", "csum-lost")
 	for _, m := range modes {
 		t := tallies[m]
-		fmt.Printf("%-8v %9d %9d %6d %9d %6d %11d %9d\n",
-			m, t.episodes, t.survived, t.lost, t.violated, t.crashed, t.lostBytes, t.recovered)
+		fmt.Printf("%-8v %9d %9d %6d %9d %6d %11d %9d %6d %9d %6d\n",
+			m, t.episodes, t.survived, t.lost, t.violated, t.crashed, t.lostBytes, t.recovered,
+			t.flips, t.csumRepaired, t.csumLost)
 	}
 
 	if len(violations) > 0 {
@@ -100,9 +105,13 @@ func main() {
 
 // schedule derives an episode's fault plan from its seed, independently
 // of the workload stream (which RunEpisode seeds itself).
-func schedule(epSeed int64, mode core.Mode) fault.Config {
+func schedule(epSeed int64, mode core.Mode, checksums, flips bool) fault.Config {
 	rng := rand.New(rand.NewSource(epSeed ^ 0x5eed))
-	cfg := fault.Config{Seed: epSeed, Mode: mode}
+	cfg := fault.Config{Seed: epSeed, Mode: mode, Checksums: checksums}
+	if flips {
+		cfg.FlipBits = rng.Intn(3)
+		cfg.ReadRot = rng.Intn(2)
+	}
 	cfg.PowerCut = rng.Float64() < 0.5
 	deferredMode := mode == core.Afraid || mode == core.Afraid6
 	if cfg.PowerCut && deferredMode {
@@ -125,6 +134,9 @@ type tally struct {
 	crashed                            int
 	lostBytes                          int64
 	recovered                          uint64
+	flips                              int
+	csumDetected, csumRepaired         uint64
+	csumLost                           uint64
 }
 
 func (t *tally) note(r *fault.Result) {
@@ -132,7 +144,7 @@ func (t *tally) note(r *fault.Result) {
 	switch {
 	case len(r.Violations) > 0:
 		t.violated++
-	case r.LostBytes > 0:
+	case r.LostBytes > 0 || r.ChecksumsLost > 0:
 		t.lost++
 	default:
 		t.survived++
@@ -142,6 +154,10 @@ func (t *tally) note(r *fault.Result) {
 	}
 	t.lostBytes += r.LostBytes
 	t.recovered += r.RecoveredStripes
+	t.flips += r.FlipBits
+	t.csumDetected += r.ChecksumsDetected
+	t.csumRepaired += r.ChecksumsRepaired
+	t.csumLost += r.ChecksumsLost
 }
 
 func describe(r *fault.Result) string {
@@ -161,6 +177,10 @@ func describe(r *fault.Result) string {
 	}
 	if r.RecoveredStripes > 0 {
 		fmt.Fprintf(&b, " repaired=%d", r.RecoveredStripes)
+	}
+	if r.FlipBits > 0 {
+		fmt.Fprintf(&b, " flips=%d(det=%d rep=%d lost=%d)",
+			r.FlipBits, r.ChecksumsDetected, r.ChecksumsRepaired, r.ChecksumsLost)
 	}
 	if len(r.Violations) > 0 {
 		fmt.Fprintf(&b, " VIOLATIONS=%d", len(r.Violations))

@@ -109,9 +109,9 @@ func runStatus(ctx context.Context, v *cluster.Volume, addrs []string, dialTO ti
 	fmt.Printf("  drains=%d degraded_reads=%d degraded_writes=%d healed=%d lost=%d failovers=%d high_water=%d\n",
 		st.Stats.ParityDrains, st.Stats.DegradedReads, st.Stats.DegradedWrites,
 		st.Stats.HealedStripes, st.Stats.LostStripes, st.Stats.NodeFailovers, st.Stats.DirtyHighWater)
-	fmt.Printf("%-4s %-22s %-8s %-10s %-10s %s\n", "NODE", "ADDR", "STATE", "STALE", "NODE-DIRTY", "NODE-CAPACITY")
+	fmt.Printf("%-4s %-22s %-8s %-10s %-10s %-14s %s\n", "NODE", "ADDR", "STATE", "STALE", "NODE-DIRTY", "NODE-CAPACITY", "CSUM(det/rep/lost)")
 	for _, n := range st.Nodes {
-		nodeDirty, nodeCap := "-", "-"
+		nodeDirty, nodeCap, nodeCsum := "-", "-", "-"
 		// Ask the daemon itself: its STAT carries its own array's
 		// dirty count and capacity (the afraid.node expvar's fields,
 		// over the block protocol so no metrics port is needed).
@@ -120,6 +120,9 @@ func runStatus(ctx context.Context, v *cluster.Volume, addrs []string, dialTO ti
 			if ds, err := c.Stat(cctx); err == nil {
 				nodeDirty = strconv.FormatInt(ds.DirtyStripes, 10)
 				nodeCap = fmtSize(ds.Capacity)
+				if ds.ChecksumDetected > 0 {
+					nodeCsum = fmt.Sprintf("%d/%d/%d", ds.ChecksumDetected, ds.ChecksumRepaired, ds.ChecksumLost)
+				}
 			}
 			cancel()
 			c.Close()
@@ -128,7 +131,7 @@ func runStatus(ctx context.Context, v *cluster.Volume, addrs []string, dialTO ti
 		if n.LastErr != "" {
 			state += " (" + n.LastErr + ")"
 		}
-		fmt.Printf("%-4d %-22s %-8s %-10d %-10s %s\n", n.Index, n.Addr, state, n.StaleStripes, nodeDirty, nodeCap)
+		fmt.Printf("%-4d %-22s %-8s %-10d %-10s %-14s %s\n", n.Index, n.Addr, state, n.StaleStripes, nodeDirty, nodeCap, nodeCsum)
 	}
 }
 

@@ -45,6 +45,7 @@ func main() {
 	stripe := flag.String("stripe", "8K", "stripe unit size")
 	scrubIdle := flag.Duration("scrub-idle", 100*time.Millisecond, "idle threshold before parity rebuild")
 	dirtyThreshold := flag.Int("dirty-threshold", 0, "scrub under load past this many dirty stripes (0 = idle-only)")
+	checksums := flag.Bool("checksums", false, "per-block CRC32C: verify every read, repair silent corruption from redundancy")
 	workers := flag.Int("workers", 0, "request worker pool size (0 = 2×GOMAXPROCS)")
 	inflight := flag.Int("inflight", 0, "max in-flight requests before ERR_BUSY (0 = default 256)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 30s)")
@@ -76,6 +77,7 @@ func main() {
 		StripeUnit:     stripeUnit,
 		ScrubIdle:      *scrubIdle,
 		DirtyThreshold: *dirtyThreshold,
+		Checksums:      *checksums,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -110,6 +112,10 @@ func main() {
 				"recovered_stripes": st1.RecoveredStripes,
 				"degraded_reads":    st1.DegradedReads,
 				"nvram_recovered":   st1.NVRAMRecovered,
+				"checksum_detected": st1.ChecksumDetected,
+				"checksum_repaired": st1.ChecksumRepaired,
+				"checksum_lost":     st1.ChecksumLost,
+				"quarantined":       len(st.QuarantinedStripes()),
 			}
 		}))
 		// Node identity card for cluster tooling: when this daemon is one

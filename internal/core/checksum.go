@@ -1,0 +1,565 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"afraid/internal/bufpool"
+	"afraid/internal/layout"
+	"afraid/internal/parity"
+)
+
+// End-to-end block checksums. With Options.Checksums every member disk
+// reserves a trailer (layout.ChecksumTrailerBytes) holding one 8-byte
+// slot per stripe: a magic tag plus the CRC32C (Castagnoli, hardware-
+// accelerated by hash/crc32) of that disk's stripe unit. devWrite
+// refreshes the slot from the in-memory buffer on every unit write —
+// so a flip on the wire or the medium can never be blessed — and
+// devRead verifies every unit it returns. A verify failure surfaces as
+// a *ChecksumError and is handled exactly like a fail-stop member on
+// that one unit: reconstruct from redundancy, rewrite through with a
+// fresh checksum, or report ErrDataLoss. Corruption is never served
+// silently.
+//
+// Slot states: a valid magic gates the CRC comparison; anything else
+// (torn slot write, scribbled trailer, all zeroes) is a mismatch and
+// goes down the same repair path. Open formats absent (all-zero) slots
+// with the CRC of a zero unit, which is correct because a checksummed
+// store has checksums from birth — every never-written unit still
+// holds zeroes.
+
+// csumMagic tags a valid checksum slot ("AFC1").
+const csumMagic = 0x41464331
+
+// castagnoliTable selects the CRC32C polynomial, for which hash/crc32
+// uses the SSE4.2/ARMv8 instruction when available.
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksumMismatch marks a stripe unit whose contents do not match
+// its stored checksum: silent corruption, detected.
+var ErrChecksumMismatch = errors.New("core: block checksum mismatch")
+
+// ChecksumError identifies the corrupt unit. It is not a DiskError —
+// the device transferred the bytes fine, the bytes are wrong — so
+// absorbFailure will not kill the member for it; absorbMismatch
+// repairs the one unit instead.
+type ChecksumError struct {
+	Disk   int
+	Stripe int64
+}
+
+// Error implements error.
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("core: disk %d stripe %d: checksum mismatch", e.Disk, e.Stripe)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *ChecksumError) Unwrap() error { return ErrChecksumMismatch }
+
+// csumLossError reports a detected corruption that redundancy cannot
+// undo. It wraps ErrDataLoss: detected-but-unrecoverable corruption is
+// reported loss, the same contract as losing a disk under a dirty
+// stripe.
+func csumLossError(stripe int64, disk int) error {
+	return fmt.Errorf("%w: stripe %d (checksum mismatch on disk %d beyond redundancy)", ErrDataLoss, stripe, disk)
+}
+
+// encodeSlot fills an 8-byte checksum slot for unit contents.
+func encodeSlot(slot []byte, unit []byte) {
+	binary.BigEndian.PutUint32(slot[0:4], csumMagic)
+	binary.BigEndian.PutUint32(slot[4:8], crc32.Checksum(unit, castagnoliTable))
+}
+
+// readSlot reads disk i's checksum slot for a stripe. Device errors
+// come back as DiskErrors so fail-stop members degrade normally.
+func (s *Store) readSlot(i int, stripe int64, slot []byte) error {
+	if _, err := s.devs[i].ReadAt(slot, s.geo.ChecksumOff(stripe)); err != nil {
+		return &DiskError{Disk: i, Op: "read", Err: err}
+	}
+	return nil
+}
+
+// putChecksum writes a fresh checksum slot for disk i's unit of stripe,
+// computed from the in-memory contents the caller just wrote.
+func (s *Store) putChecksum(i int, stripe int64, unit []byte) error {
+	var slot [layout.ChecksumSlotSize]byte
+	encodeSlot(slot[:], unit)
+	if _, err := s.devs[i].WriteAt(slot[:], s.geo.ChecksumOff(stripe)); err != nil {
+		return &DiskError{Disk: i, Op: "write", Err: err}
+	}
+	return nil
+}
+
+// putChecksumTo is putChecksum for a device that is not (yet) a member
+// — the replacement a repair sweep writes, or a repair mirror target.
+// No-op with checksums off, so repair call sites stay unconditional.
+func (s *Store) putChecksumTo(dev BlockDevice, stripe int64, unit []byte) error {
+	if !s.opts.Checksums {
+		return nil
+	}
+	var slot [layout.ChecksumSlotSize]byte
+	encodeSlot(slot[:], unit)
+	if _, err := dev.WriteAt(slot[:], s.geo.ChecksumOff(stripe)); err != nil {
+		return fmt.Errorf("core: replacement checksum write: %w", err)
+	}
+	return nil
+}
+
+// verifyAgainstSlot checks unit contents against disk i's stored slot.
+func (s *Store) verifyAgainstSlot(i int, stripe int64, unit []byte) error {
+	var slot [layout.ChecksumSlotSize]byte
+	if err := s.readSlot(i, stripe, slot[:]); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(slot[0:4]) != csumMagic ||
+		binary.BigEndian.Uint32(slot[4:8]) != crc32.Checksum(unit, castagnoliTable) {
+		return &ChecksumError{Disk: i, Stripe: stripe}
+	}
+	return nil
+}
+
+// devReadVerified is the checksummed read path: return the requested
+// range only after the whole stripe unit it lives in checks out against
+// its slot. Partial reads verify over a pooled full-unit buffer.
+// Callers hold the stripe lock, which serializes the unit+slot pair
+// against concurrent writers of the same stripe.
+func (s *Store) devReadVerified(i int, p []byte, off int64) error {
+	unit := s.geo.StripeUnit
+	stripe := off / unit
+	t0 := time.Now()
+	defer func() { s.ob.csumVerify.Observe(time.Since(t0)) }()
+	if off%unit == 0 && int64(len(p)) == unit {
+		if _, err := s.devs[i].ReadAt(p, off); err != nil {
+			return &DiskError{Disk: i, Op: "read", Err: err}
+		}
+		return s.verifyAgainstSlot(i, stripe, p)
+	}
+	whole := bufpool.Get(int(unit))
+	defer bufpool.Put(whole)
+	if _, err := s.devs[i].ReadAt(whole, stripe*unit); err != nil {
+		return &DiskError{Disk: i, Op: "read", Err: err}
+	}
+	if err := s.verifyAgainstSlot(i, stripe, whole); err != nil {
+		return err
+	}
+	copy(p, whole[off-stripe*unit:])
+	return nil
+}
+
+// devWriteChecksummed is the checksummed write path: land the data,
+// then refresh the slot from the in-memory image. A partial write first
+// does a verified read of the old unit — corruption under the
+// untouched bytes must surface now (and be repaired by the caller's
+// retry loop), not be patched over and blessed by the new slot.
+func (s *Store) devWriteChecksummed(i int, p []byte, off int64) error {
+	unit := s.geo.StripeUnit
+	stripe := off / unit
+	if off%unit == 0 && int64(len(p)) == unit {
+		if _, err := s.devs[i].WriteAt(p, off); err != nil {
+			return &DiskError{Disk: i, Op: "write", Err: err}
+		}
+		return s.putChecksum(i, stripe, p)
+	}
+	whole := bufpool.Get(int(unit))
+	defer bufpool.Put(whole)
+	if err := s.devReadVerified(i, whole, stripe*unit); err != nil {
+		return err
+	}
+	copy(whole[off-stripe*unit:], p)
+	if _, err := s.devs[i].WriteAt(p, off); err != nil {
+		return &DiskError{Disk: i, Op: "write", Err: err}
+	}
+	return s.putChecksum(i, stripe, whole)
+}
+
+// verifyUnit re-reads disk i's unit of stripe and checks it. Caller
+// holds the stripe lock.
+func (s *Store) verifyUnit(i int, stripe int64) error {
+	unit := s.geo.StripeUnit
+	whole := bufpool.Get(int(unit))
+	defer bufpool.Put(whole)
+	return s.devReadVerified(i, whole, stripe*unit)
+}
+
+// formatChecksums installs slots for units that have none yet: at first
+// open every slot is zero, and after a crash during a previous format a
+// suffix may still be. An absent slot means the unit was never written
+// (checksummed stores carry checksums from birth), so its contents are
+// zeroes and the zero-unit CRC is the right install. Live members only;
+// a dead member gets its slots rewritten by RepairDisk.
+func (s *Store) formatChecksums() error {
+	stripes := s.geo.Stripes()
+	trailer := make([]byte, stripes*layout.ChecksumSlotSize)
+	var zeroSlot [layout.ChecksumSlotSize]byte
+	zero := make([]byte, s.geo.StripeUnit)
+	var fresh [layout.ChecksumSlotSize]byte
+	encodeSlot(fresh[:], zero)
+	for i, d := range s.devs {
+		if i == s.dead || i == s.dead2 {
+			continue
+		}
+		if _, err := d.ReadAt(trailer, s.geo.DiskSize); err != nil {
+			return &DiskError{Disk: i, Op: "read", Err: err}
+		}
+		dirtied := false
+		for st := int64(0); st < stripes; st++ {
+			slot := trailer[st*layout.ChecksumSlotSize : (st+1)*layout.ChecksumSlotSize]
+			if [layout.ChecksumSlotSize]byte(slot) == zeroSlot {
+				copy(slot, fresh[:])
+				dirtied = true
+			}
+		}
+		if !dirtied {
+			continue
+		}
+		if _, err := d.WriteAt(trailer, s.geo.DiskSize); err != nil {
+			return &DiskError{Disk: i, Op: "write", Err: err}
+		}
+	}
+	return nil
+}
+
+// absorbMismatch is the span loops' counterpart of absorbFailure for
+// checksum failures: when err identifies a corrupt unit, repair it in
+// place from redundancy. It returns retry=true when the repair
+// succeeded and the caller should re-run the span; otherwise the error
+// to surface (the original err when it was not a checksum failure, a
+// loss error when redundancy could not cover the corruption). Caller
+// holds the corrupt stripe's lock.
+func (s *Store) absorbMismatch(err error) (retry bool, out error) {
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		return false, err
+	}
+	s.meta.Lock()
+	s.stats.ChecksumDetected++
+	s.meta.Unlock()
+	if rerr := s.repairUnitLocked(ce.Stripe, ce.Disk); rerr != nil {
+		if errors.Is(rerr, ErrDataLoss) {
+			s.meta.Lock()
+			s.stats.ChecksumLost++
+			s.meta.Unlock()
+		}
+		return false, rerr
+	}
+	s.meta.Lock()
+	s.stats.ChecksumRepaired++
+	s.meta.Unlock()
+	return true, nil
+}
+
+// absorbMismatchIn is absorbMismatch for callers that do not already
+// hold the stripe lock (the CheckParity workers release it inside
+// checkStripe).
+func (s *Store) absorbMismatchIn(err error) (bool, error) {
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		return false, err
+	}
+	lk := s.stripeLock(ce.Stripe)
+	lk.Lock()
+	defer lk.Unlock()
+	return s.absorbMismatch(err)
+}
+
+// spanRetryBudget bounds the absorb-and-retry loops around span
+// operations: enough for every member to fail or every unit of a
+// stripe to be repaired once, plus slack for a nested repair.
+func (s *Store) spanRetryBudget() int { return len(s.devs) + 2 }
+
+// preflightChecksums verifies the old contents under the partial
+// extents of a deferred-parity write before the stripe is marked.
+// Ordering matters: the AFRAID paths mark first, and a corruption
+// discovered after our own mark would read as "dirty stripe, stale
+// parity — unrecoverable" even though the stripe was clean and
+// repairable a microsecond earlier. Full-unit extents need nothing
+// (the overwrite installs a fresh slot), and modes that keep P fresh
+// while dirty (Afraid6 deferring only Q) repair fine post-mark.
+func (s *Store) preflightChecksums(sp layout.StripeSpan) error {
+	if !s.opts.Checksums {
+		return nil
+	}
+	unit := s.geo.StripeUnit
+	for _, e := range sp.Extents {
+		if e.UnitOff == 0 && e.Len == unit {
+			continue
+		}
+		if err := s.verifyUnit(e.Disk, sp.Stripe); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairUnitLocked rewrites one corrupt unit from redundancy. Caller
+// holds the stripe lock; the unit is re-verified first, so a retry
+// that lost a race with another repair (CheckParity workers drop the
+// lock between check and repair) is a no-op.
+func (s *Store) repairUnitLocked(stripe int64, disk int) error {
+	if err := s.verifyUnit(disk, stripe); err == nil {
+		return nil
+	} else if !errors.Is(err, ErrChecksumMismatch) {
+		return err
+	}
+	if s.geo.Level == layout.RAID6 {
+		return s.repairUnit6(stripe, disk)
+	}
+	return s.repairUnit5(stripe, disk)
+}
+
+// repairUnit5 is the RAID 5 / RAID 0 unit repair. Any second problem in
+// the stripe — a dead member, a stale (dirty) parity, a nested
+// mismatch — exhausts the single redundancy and the unit is reported
+// lost.
+func (s *Store) repairUnit5(stripe int64, disk int) error {
+	s.meta.Lock()
+	dead := s.dead
+	dirty := s.marks.IsMarked(stripe)
+	pol := s.effectivePolicy(stripe)
+	s.meta.Unlock()
+	if s.geo.Level == layout.RAID0 || pol == PolicyNeverRedundant {
+		return csumLossError(stripe, disk)
+	}
+	off := s.geo.DiskOffset(stripe)
+	role, dataIdx := s.geo.RoleOf(stripe, disk)
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+
+	if role == layout.Parity {
+		// Recompute parity from the data units — valid for dirty stripes
+		// too (the mark stays; the scrubber recomputes again and clears
+		// it). A dead data member makes the recompute impossible.
+		if dead >= 0 {
+			return csumLossError(stripe, disk)
+		}
+		if err := s.readStripeUnits(sb, stripe, -1, -1); err != nil {
+			if errors.Is(err, ErrChecksumMismatch) {
+				return csumLossError(stripe, disk)
+			}
+			return err
+		}
+		pt := time.Now()
+		parity.Compute(sb.p, sb.units...)
+		s.observeParity(pt)
+		return s.devWrite(disk, sb.p, off)
+	}
+
+	if dirty || dead >= 0 {
+		return csumLossError(stripe, disk)
+	}
+	if err := s.readStripeUnits(sb, stripe, disk, -1); err != nil {
+		if errors.Is(err, ErrChecksumMismatch) {
+			return csumLossError(stripe, disk)
+		}
+		return err
+	}
+	if err := s.devRead(s.geo.ParityDisk(stripe), sb.p, off); err != nil {
+		if errors.Is(err, ErrChecksumMismatch) {
+			return csumLossError(stripe, disk)
+		}
+		return err
+	}
+	pt := time.Now()
+	parity.Reconstruct(sb.units[dataIdx], sb.p, sb.survivors(dataIdx)...)
+	s.observeParity(pt)
+	return s.devWrite(disk, sb.units[dataIdx], off)
+}
+
+// repairUnit6 is the RAID 6 unit repair: the corrupt unit joins the
+// missing set, nested mismatches met while reconstructing join it too
+// (or disqualify a parity), and materialize6 decides whether the fresh
+// parities still cover the set. Up to two missing data units plus both
+// parities are repairable on a clean stripe.
+func (s *Store) repairUnit6(stripe int64, disk int) error {
+	s.meta.Lock()
+	dead := s.deadSet()
+	dirty := s.marks.IsMarked(stripe)
+	s.meta.Unlock()
+	pFresh, qFresh := s.parityFresh(dirty)
+	pDisk := s.geo.ParityDisk(stripe)
+	qDisk := s.geo.QDisk(stripe)
+	off := s.geo.DiskOffset(stripe)
+
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+
+	badData := map[int]bool{}
+	pBad, qBad := false, false
+	switch disk {
+	case pDisk:
+		pBad = true
+	case qDisk:
+		qBad = true
+	default:
+		badData[disk] = true
+	}
+
+	for tries := 0; tries <= s.geo.Disks; tries++ {
+		missing := append([]int(nil), dead...)
+		for d := range badData {
+			if !containsInt(missing, d) {
+				missing = append(missing, d)
+			}
+		}
+		dataMissing := 0
+		for _, d := range missing {
+			if r, _ := s.geo.RoleOf(stripe, d); r == layout.Data {
+				dataMissing++
+			}
+		}
+		if dataMissing > 2 {
+			return csumLossError(stripe, disk)
+		}
+		ok, err := s.materialize6(sb, stripe, missing, pFresh && !pBad, qFresh && !qBad)
+		if err != nil {
+			var ce *ChecksumError
+			if !errors.As(err, &ce) {
+				return err
+			}
+			switch ce.Disk {
+			case pDisk:
+				pBad = true
+			case qDisk:
+				qBad = true
+			default:
+				badData[ce.Disk] = true
+			}
+			continue
+		}
+		if !ok {
+			return csumLossError(stripe, disk)
+		}
+		// Rewrite everything the reconstruction proved corrupt. Live
+		// disks only: dead members are RepairDisk's job.
+		for d := range badData {
+			if containsInt(dead, d) {
+				continue
+			}
+			_, idx := s.geo.RoleOf(stripe, d)
+			if err := s.devWrite(d, sb.units[idx], off); err != nil {
+				return err
+			}
+		}
+		if pBad || qBad {
+			// All data units are in hand (materialize6 reconstructed the
+			// missing ones), so both parities can be recomputed; write
+			// back the corrupt one(s). On a dirty stripe the mark stays
+			// and the scrubber refreshes them again — harmless.
+			pt := time.Now()
+			parity.ComputePQ(sb.p, sb.q, sb.units...)
+			s.observeParity(pt)
+			if pBad && !containsInt(dead, pDisk) {
+				if err := s.devWrite(pDisk, sb.p, off); err != nil {
+					return err
+				}
+			}
+			if qBad && !containsInt(dead, qDisk) {
+				if err := s.devWrite(qDisk, sb.q, off); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return csumLossError(stripe, disk)
+}
+
+// resyncParity rebuilds a stripe's parity from its at-rest data units.
+// The write-span retry loop calls it after a mismatch repair: the
+// interrupted attempt's delta read-modify-write may have applied its
+// parity delta on some parity disks but not others before the corrupt
+// unit surfaced, and repairUnitLocked recomputes only the corrupt
+// element — leaving the untouched parity holding a delta for data that
+// never landed, under a perfectly valid checksum. Rebuilding from data
+// restores the invariant the retried delta update relies on: at-rest
+// parity encodes at-rest data. Dirty stripes are skipped (their parity
+// is stale by design and the scrubber rebuilds it), as are degraded
+// arrays (their write paths store full stripe images, which retry
+// idempotently). Caller holds the stripe lock.
+func (s *Store) resyncParity(stripe int64) error {
+	if s.geo.Level == layout.RAID0 {
+		return nil
+	}
+	s.meta.Lock()
+	dead := s.deadSet()
+	dirty := s.marks.IsMarked(stripe)
+	s.meta.Unlock()
+	if len(dead) > 0 || dirty {
+		return nil
+	}
+	if s.geo.Level == layout.RAID6 {
+		return s.rebuildParity6(stripe)
+	}
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	if err := s.readStripeUnits(sb, stripe, -1, -1); err != nil {
+		return err
+	}
+	pt := time.Now()
+	parity.Compute(sb.p, sb.units...)
+	s.observeParity(pt)
+	return s.devWrite(s.geo.ParityDisk(stripe), sb.p, s.geo.DiskOffset(stripe))
+}
+
+// quarantineStripe records a dirty stripe whose scrub hit unrecoverable
+// corruption. It stays marked (its parity must not be rebuilt over the
+// corrupt unit) but the drain machinery skips it, so Flush can
+// terminate — with a loss report — instead of spinning on a stripe it
+// can never clean. Any fresh mark or unmark drops the quarantine: an
+// overwrite may have replaced the corrupt unit.
+func (s *Store) quarantineStripe(stripe int64) {
+	s.meta.Lock()
+	s.quarantine[stripe] = true
+	s.meta.Unlock()
+}
+
+// dropQuarantine clears a stripe's quarantine. Caller holds meta.
+func (s *Store) dropQuarantine(stripe int64) {
+	if len(s.quarantine) != 0 {
+		delete(s.quarantine, stripe)
+	}
+}
+
+// quarantineError reports the quarantined stripes as data loss.
+// Caller does not hold meta.
+func (s *Store) quarantineError() error {
+	s.meta.Lock()
+	list := make([]int64, 0, len(s.quarantine))
+	for st := range s.quarantine {
+		list = append(list, st)
+	}
+	s.meta.Unlock()
+	sortInt64s(list)
+	return fmt.Errorf("%w: %d stripe(s) %v held dirty by unrecoverable checksum corruption", ErrDataLoss, len(list), list)
+}
+
+// QuarantinedStripes returns the stripes held dirty by unrecoverable
+// checksum corruption, ascending. They read as ErrDataLoss until
+// overwritten.
+func (s *Store) QuarantinedStripes() []int64 {
+	s.meta.Lock()
+	out := make([]int64, 0, len(s.quarantine))
+	for st := range s.quarantine {
+		out = append(out, st)
+	}
+	s.meta.Unlock()
+	sortInt64s(out)
+	return out
+}
+
+func sortInt64s(a []int64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -27,7 +27,13 @@ func (e *DiskError) Error() string {
 func (e *DiskError) Unwrap() error { return e.Err }
 
 // devRead reads from member disk i, wrapping failures with the index.
+// With Options.Checksums the unit's contents are verified against its
+// checksum slot and a mismatch surfaces as *ChecksumError (see
+// checksum.go).
 func (s *Store) devRead(i int, p []byte, off int64) error {
+	if s.opts.Checksums {
+		return s.devReadVerified(i, p, off)
+	}
 	if _, err := s.devs[i].ReadAt(p, off); err != nil {
 		return &DiskError{Disk: i, Op: "read", Err: err}
 	}
@@ -35,7 +41,13 @@ func (s *Store) devRead(i int, p []byte, off int64) error {
 }
 
 // devWrite writes to member disk i, wrapping failures with the index.
+// With Options.Checksums the unit's checksum slot is refreshed from the
+// in-memory contents, so corruption on the wire or the medium is caught
+// by the next verified read.
 func (s *Store) devWrite(i int, p []byte, off int64) error {
+	if s.opts.Checksums {
+		return s.devWriteChecksummed(i, p, off)
+	}
 	if _, err := s.devs[i].WriteAt(p, off); err != nil {
 		return &DiskError{Disk: i, Op: "write", Err: err}
 	}

@@ -19,6 +19,7 @@ type storeObs struct {
 	parity       *obs.Histogram // in-memory parity compute
 	scrubStripe  *obs.Histogram // one stripe rebuild (lock wait included)
 	scrubEpisode *obs.Histogram // one scrub episode (a run of rebuilds)
+	csumVerify   *obs.Histogram // one checksummed unit read (slot I/O + CRC)
 	trace        *obs.Ring
 }
 
@@ -32,6 +33,7 @@ func newStoreObs() *storeObs {
 		parity:       r.Histogram("parity_compute"),
 		scrubStripe:  r.Histogram("scrub_stripe"),
 		scrubEpisode: r.Histogram("scrub_episode"),
+		csumVerify:   r.Histogram("checksum_verify"),
 		trace:        r.Ring("ops", 512),
 	}
 }

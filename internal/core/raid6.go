@@ -187,6 +187,12 @@ func (s *Store) writeSpan6(p []byte, base int64, sp layout.StripeSpan) error {
 	case s.opts.Mode == Raid6:
 		return s.writeSpanSync6(p, base, sp, true, true)
 	case s.opts.DeferBothParities:
+		// Both parities go stale at the mark, so corruption under a
+		// partial extent must be found (and repaired) while they are
+		// still fresh — see preflightChecksums.
+		if err := s.preflightChecksums(sp); err != nil {
+			return err
+		}
 		if err := s.markStripe(sp.Stripe); err != nil {
 			return err
 		}
@@ -205,6 +211,9 @@ func (s *Store) writeSpan6(p []byte, base int64, sp layout.StripeSpan) error {
 func (s *Store) markStripe(stripe int64) error {
 	s.meta.Lock()
 	changed := s.marks.Mark(stripe)
+	// A fresh write may overwrite the corrupt unit that put the stripe
+	// in quarantine; let the scrubber try again.
+	s.dropQuarantine(stripe)
 	var err error
 	if changed {
 		if c := s.marks.Count(); c > s.stats.DirtyHighWater {
@@ -328,6 +337,9 @@ func (s *Store) storeStripeImage6(stripe int64, sb *stripeBuf, dead []int, wasDi
 			if _, err := rd.WriteAt(buf, off); err != nil {
 				return fmt.Errorf("core: repair mirror write: %w", err)
 			}
+			if err := s.putChecksumTo(rd, stripe, buf); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -371,6 +383,7 @@ func (s *Store) storeStripeImage6(stripe int64, sb *stripeBuf, dead []int, wasDi
 	if wasDirty && pWritten && qWritten {
 		s.meta.Lock()
 		s.marks.Unmark(stripe)
+		s.dropQuarantine(stripe)
 		err := s.persistMarks()
 		s.meta.Unlock()
 		return err
@@ -485,6 +498,9 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 			if _, err := replacement.WriteAt(sb.units[dataIdx], off); err != nil {
 				return err
 			}
+			if err := s.putChecksumTo(replacement, stripe, sb.units[dataIdx]); err != nil {
+				return err
+			}
 		}
 		parity.ComputePQ(sb.p, sb.q, sb.units...)
 		pDisk, qDisk := s.geo.ParityDisk(stripe), s.geo.QDisk(stripe)
@@ -493,9 +509,15 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 			if _, err := devFor(pDisk).WriteAt(sb.p, off); err != nil {
 				return err
 			}
+			if err := s.putChecksumTo(devFor(pDisk), stripe, sb.p); err != nil {
+				return err
+			}
 		}
 		if qOK {
 			if _, err := devFor(qDisk).WriteAt(sb.q, off); err != nil {
+				return err
+			}
+			if err := s.putChecksumTo(devFor(qDisk), stripe, sb.q); err != nil {
 				return err
 			}
 		}
@@ -512,6 +534,9 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 		if _, err := replacement.WriteAt(sb.units[dataIdx], off); err != nil {
 			return err
 		}
+		if err := s.putChecksumTo(replacement, stripe, sb.units[dataIdx]); err != nil {
+			return err
+		}
 	case layout.Parity, layout.ParityQ:
 		parity.ComputePQ(sb.p, sb.q, sb.units...)
 		buf := sb.p
@@ -521,6 +546,9 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 		if _, err := replacement.WriteAt(buf, off); err != nil {
 			return err
 		}
+		if err := s.putChecksumTo(replacement, stripe, buf); err != nil {
+			return err
+		}
 	}
 	s.bumpRecovered()
 
@@ -528,10 +556,17 @@ func (s *Store) repairStripe6(stripe int64, target int, replacement BlockDevice,
 	// array ends fully redundant.
 	if len(dead) == 1 {
 		parity.ComputePQ(sb.p, sb.q, sb.units...)
-		if _, err := devFor(s.geo.ParityDisk(stripe)).WriteAt(sb.p, off); err != nil {
+		pd, qd := devFor(s.geo.ParityDisk(stripe)), devFor(s.geo.QDisk(stripe))
+		if _, err := pd.WriteAt(sb.p, off); err != nil {
 			return err
 		}
-		if _, err := devFor(s.geo.QDisk(stripe)).WriteAt(sb.q, off); err != nil {
+		if err := s.putChecksumTo(pd, stripe, sb.p); err != nil {
+			return err
+		}
+		if _, err := qd.WriteAt(sb.q, off); err != nil {
+			return err
+		}
+		if err := s.putChecksumTo(qd, stripe, sb.q); err != nil {
 			return err
 		}
 		s.clearMark(stripe)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -90,9 +91,13 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 	if i < 0 || i >= len(s.devs) {
 		return report, fmt.Errorf("core: disk %d out of range", i)
 	}
-	if replacement.Size() < s.geo.DiskSize {
+	need := s.geo.DiskSize
+	if s.opts.Checksums {
+		need += s.geo.ChecksumTrailerBytes()
+	}
+	if replacement.Size() < need {
 		return report, fmt.Errorf("core: replacement size %d smaller than member size %d",
-			replacement.Size(), s.geo.DiskSize)
+			replacement.Size(), need)
 	}
 	s.meta.Lock()
 	if s.closed {
@@ -153,11 +158,33 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 				}
 				lk := s.stripeLock(stripe)
 				lk.Lock()
+				// A survivor failing checksum verification mid-repair is
+				// itself repaired from whatever redundancy remains and the
+				// stripe retried; the damage list is truncated to this
+				// worker's mark so an abandoned attempt cannot double-report.
+				mark := len(part.Lost)
 				var err error
-				if s.geo.Level == layout.RAID6 {
-					err = s.repairStripe6(stripe, i, replacement, part)
-				} else {
-					err = s.repairStripe(stripe, i, replacement, unit, mode, part)
+				for tries := 0; ; tries++ {
+					part.Lost = part.Lost[:mark]
+					if s.geo.Level == layout.RAID6 {
+						err = s.repairStripe6(stripe, i, replacement, part)
+					} else {
+						err = s.repairStripe(stripe, i, replacement, unit, mode, part)
+					}
+					if err == nil || tries >= s.spanRetryBudget() {
+						break
+					}
+					var retry bool
+					if retry, err = s.absorbMismatch(err); !retry {
+						break
+					}
+				}
+				if err != nil && errors.Is(err, ErrDataLoss) {
+					// Corruption plus the dead disk exceed the stripe's
+					// redundancy: salvage what is readable, zero and report
+					// the rest, like a dirty stripe's lost data unit.
+					part.Lost = part.Lost[:mark]
+					err = s.salvageStripe(stripe, i, replacement, part)
 				}
 				if err == nil {
 					// Set the done bit while still holding the stripe lock,
@@ -239,6 +266,9 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 		if _, err := replacement.WriteAt(sb.p, off); err != nil {
 			return err
 		}
+		if err := s.putChecksumTo(replacement, stripe, sb.p); err != nil {
+			return err
+		}
 		report.Lost = append(report.Lost, DamagedRange{
 			Offset: stripe*s.geo.StripeDataBytes() + int64(dataIdx)*unit,
 			Length: unit,
@@ -261,6 +291,9 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 		if _, err := replacement.WriteAt(sb.p, off); err != nil {
 			return err
 		}
+		if err := s.putChecksumTo(replacement, stripe, sb.p); err != nil {
+			return err
+		}
 		s.clearMark(stripe)
 		s.bumpRecovered()
 		return nil
@@ -278,6 +311,9 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 		if _, err := replacement.WriteAt(lost, off); err != nil {
 			return err
 		}
+		if err := s.putChecksumTo(replacement, stripe, lost); err != nil {
+			return err
+		}
 		s.bumpRecovered()
 		return nil
 
@@ -289,6 +325,9 @@ func (s *Store) repairStripe(stripe int64, dead int, replacement BlockDevice, un
 		}
 		clear(sb.units[dataIdx])
 		if _, err := replacement.WriteAt(sb.units[dataIdx], off); err != nil {
+			return err
+		}
+		if err := s.putChecksumTo(replacement, stripe, sb.units[dataIdx]); err != nil {
 			return err
 		}
 		parity.Compute(sb.p, sb.units...)
@@ -312,6 +351,7 @@ func (s *Store) clearMark(stripe int64) {
 	if s.geo.Level != layout.RAID0 {
 		s.marks.Unmark(stripe)
 	}
+	s.dropQuarantine(stripe)
 	s.meta.Unlock()
 }
 
@@ -320,4 +360,99 @@ func (s *Store) bumpRecovered() {
 	s.meta.Lock()
 	s.stats.RecoveredStripes++
 	s.meta.Unlock()
+}
+
+// salvageStripe handles a repair-sweep stripe where detected checksum
+// corruption plus the dead disk exceed the stripe's redundancy. Every
+// data unit that cannot be read back verified — a corrupt survivor, or
+// the target's unreconstructable unit — is zeroed and reported lost,
+// then the parities are recomputed over the zeroed image so later
+// reads and repairs see a consistent stripe (zeroes where data was
+// lost) instead of garbage behind a stale parity. Caller holds the
+// stripe lock.
+func (s *Store) salvageStripe(stripe int64, target int, replacement BlockDevice, report *DamageReport) error {
+	unit := s.geo.StripeUnit
+	off := s.geo.DiskOffset(stripe)
+	s.meta.Lock()
+	dead := s.deadSet()
+	s.meta.Unlock()
+	isDead := func(d int) bool { return containsInt(dead, d) }
+
+	sb := s.getStripeBuf()
+	defer s.putStripeBuf(sb)
+	lose := func(i int) {
+		clear(sb.units[i])
+		report.Lost = append(report.Lost, DamagedRange{
+			Offset: stripe*s.geo.StripeDataBytes() + int64(i)*unit,
+			Length: unit,
+			Stripe: stripe,
+		})
+	}
+	for i := range sb.units {
+		d := s.geo.DataDisk(stripe, i)
+		if isDead(d) {
+			lose(i)
+			if d == target {
+				if _, err := replacement.WriteAt(sb.units[i], off); err != nil {
+					return err
+				}
+				if err := s.putChecksumTo(replacement, stripe, sb.units[i]); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		err := s.devRead(d, sb.units[i], off)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrChecksumMismatch) {
+			return err
+		}
+		// Corrupt beyond repair: zero it in place (installing a fresh
+		// slot) so the stripe converges instead of erroring forever.
+		lose(i)
+		if werr := s.devWrite(d, sb.units[i], off); werr != nil {
+			return werr
+		}
+	}
+
+	writeParity := func(d int, buf []byte) (bool, error) {
+		switch {
+		case d == target:
+			if _, err := replacement.WriteAt(buf, off); err != nil {
+				return false, err
+			}
+			return true, s.putChecksumTo(replacement, stripe, buf)
+		case isDead(d):
+			return false, nil
+		default:
+			return true, s.devWrite(d, buf, off)
+		}
+	}
+	pDisk := s.geo.ParityDisk(stripe)
+	if s.geo.Level == layout.RAID6 {
+		parity.ComputePQ(sb.p, sb.q, sb.units...)
+		pOK, err := writeParity(pDisk, sb.p)
+		if err != nil {
+			return err
+		}
+		qOK, err := writeParity(s.geo.QDisk(stripe), sb.q)
+		if err != nil {
+			return err
+		}
+		if pOK && qOK {
+			s.clearMark(stripe)
+		}
+		return nil
+	}
+	parity.Compute(sb.p, sb.units...)
+	pOK, err := writeParity(pDisk, sb.p)
+	if err != nil {
+		return err
+	}
+	if pOK {
+		s.clearMark(stripe)
+	}
+	return nil
 }

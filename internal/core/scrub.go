@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,7 +30,7 @@ func (s *Store) kickScrub() {
 		return
 	}
 	s.meta.Lock()
-	over := s.marks.Count() > 2*int64(th)
+	over := s.marks.Count()-int64(len(s.quarantine)) > 2*int64(th)
 	s.meta.Unlock()
 	if !over {
 		return
@@ -38,7 +39,7 @@ func (s *Store) kickScrub() {
 	// policy of starting parity updates under load.
 	for i := 0; i < maxInlineScrub; i++ {
 		s.meta.Lock()
-		n := s.marks.Count()
+		n := s.marks.Count() - int64(len(s.quarantine))
 		s.meta.Unlock()
 		if n <= int64(th) {
 			return
@@ -97,7 +98,9 @@ func (s *Store) scrubPass() {
 		default:
 		}
 		s.meta.Lock()
-		dirty := s.marks.Count()
+		// Quarantined stripes are dirty but undrainable; they must not
+		// keep an episode spinning.
+		dirty := s.marks.Count() - int64(len(s.quarantine))
 		idleFor := time.Since(s.lastIO)
 		gen := s.scrubGen
 		s.meta.Unlock()
@@ -182,10 +185,22 @@ func (s *Store) scrubOne(forced bool, gen *uint64) (bool, error) {
 	}
 
 	var rerr error
-	if s.geo.Level == layout.RAID6 {
-		rerr = s.rebuildParity6(stripe)
-	} else {
-		rerr = s.rebuildParity(stripe)
+	for tries := 0; ; tries++ {
+		if s.geo.Level == layout.RAID6 {
+			rerr = s.rebuildParity6(stripe)
+		} else {
+			rerr = s.rebuildParity(stripe)
+		}
+		// A unit that fails checksum verification mid-rebuild is repaired
+		// from redundancy and the rebuild retried; rebuilding parity over
+		// the corrupt bytes would bless them forever.
+		if rerr == nil || tries >= s.spanRetryBudget() {
+			break
+		}
+		var retry bool
+		if retry, rerr = s.absorbMismatch(rerr); !retry {
+			break
+		}
 	}
 	if rerr != nil {
 		if s.absorbFailure(rerr) {
@@ -194,11 +209,20 @@ func (s *Store) scrubOne(forced bool, gen *uint64) (bool, error) {
 			// this function). The stripe keeps its mark.
 			return false, nil
 		}
+		if errors.Is(rerr, ErrDataLoss) {
+			// Detected corruption this stripe's stale parity cannot undo:
+			// quarantine it (kept dirty, skipped by the drains, reads
+			// report loss) and count the claim as progress so callers
+			// move on to other stripes.
+			s.quarantineStripe(stripe)
+			return true, nil
+		}
 		return false, rerr
 	}
 
 	s.meta.Lock()
 	s.marks.Unmark(stripe)
+	s.dropQuarantine(stripe)
 	s.stats.ScrubbedStripes++
 	if forced {
 		s.stats.ForcedScrubs++
@@ -226,7 +250,7 @@ func (s *Store) nextUnclaimed() (int64, bool) {
 		if !ok || st < from {
 			return 0, false
 		}
-		if !s.claimed[st] {
+		if !s.claimed[st] && !s.quarantine[st] {
 			s.claimed[st] = true
 			return st, true
 		}
@@ -284,8 +308,15 @@ func (s *Store) FlushContext(ctx context.Context) error {
 			dead = s.dead2
 		}
 		n := s.marks.Count()
+		q := int64(len(s.quarantine))
 		s.meta.Unlock()
-		if n == 0 {
+		if n-q <= 0 {
+			if q > 0 {
+				// Every remaining mark is a quarantined stripe: rebuilding
+				// its parity would seal detected corruption in. The store
+				// cannot be made fully redundant; say so.
+				return s.quarantineError()
+			}
 			return nil
 		}
 		if dead >= 0 {
@@ -454,6 +485,7 @@ func (s *Store) ParityPointContext(ctx context.Context, off, length int64) error
 func (s *Store) parityPointStripe(stripe int64) error {
 	s.meta.Lock()
 	dirty := s.marks.IsMarked(stripe)
+	quarantined := s.quarantine[stripe]
 	dead := s.dead
 	if s.dead2 >= 0 {
 		dead = s.dead2
@@ -461,6 +493,9 @@ func (s *Store) parityPointStripe(stripe int64) error {
 	s.meta.Unlock()
 	if !dirty {
 		return nil
+	}
+	if quarantined {
+		return fmt.Errorf("core: stripe %d held dirty by unrecoverable checksum corruption: %w", stripe, ErrDataLoss)
 	}
 	if dead >= 0 {
 		return fmt.Errorf("core: cannot make stripe %d redundant with disk %d failed: %w", stripe, dead, ErrTooManyFailures)
@@ -475,12 +510,24 @@ func (s *Store) parityPointStripe(stripe int64) error {
 		return nil
 	}
 	var err error
-	if s.geo.Level == layout.RAID6 {
-		err = s.rebuildParity6(stripe)
-	} else {
-		err = s.rebuildParity(stripe)
+	for tries := 0; ; tries++ {
+		if s.geo.Level == layout.RAID6 {
+			err = s.rebuildParity6(stripe)
+		} else {
+			err = s.rebuildParity(stripe)
+		}
+		if err == nil || tries >= s.spanRetryBudget() {
+			break
+		}
+		var retry bool
+		if retry, err = s.absorbMismatch(err); !retry {
+			break
+		}
 	}
 	if err != nil {
+		if errors.Is(err, ErrDataLoss) {
+			s.quarantineStripe(stripe)
+		}
 		return err
 	}
 	s.meta.Lock()
@@ -532,10 +579,27 @@ func (s *Store) CheckParity() ([]int64, error) {
 				}
 				var consistent bool
 				var err error
-				if raid6 {
-					consistent, err = s.checkStripe6(sb, stripe)
-				} else {
-					consistent, err = s.checkStripe(sb, stripe)
+				for tries := 0; ; tries++ {
+					if raid6 {
+						consistent, err = s.checkStripe6(sb, stripe)
+					} else {
+						consistent, err = s.checkStripe(sb, stripe)
+					}
+					if err == nil || tries >= s.spanRetryBudget() {
+						break
+					}
+					// checkStripe drops the stripe lock before returning, so
+					// the repair re-acquires it.
+					var retry bool
+					if retry, err = s.absorbMismatchIn(err); !retry {
+						break
+					}
+				}
+				if err != nil && errors.Is(err, ErrDataLoss) {
+					// Corruption beyond redundancy: the stripe is by
+					// definition inconsistent. Report it in the result
+					// rather than failing the whole audit.
+					consistent, err = false, nil
 				}
 				if err != nil {
 					mu.Lock()

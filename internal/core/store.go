@@ -89,6 +89,13 @@ type Options struct {
 	// ParityPoint, CheckParity, and the RepairDisk sweep (default
 	// min(GOMAXPROCS, data disks)). 1 drains serially.
 	ScrubWorkers int
+	// Checksums enables per-unit CRC32C verification: every member
+	// reserves a checksum trailer, writes refresh it, reads and scrubs
+	// verify against it, and a mismatch is repaired from redundancy or
+	// reported as loss — never served silently (see checksum.go). The
+	// trailer claims a little of each device, so a store must keep the
+	// setting it was created with.
+	Checksums bool
 }
 
 func (o *Options) fill() {
@@ -131,6 +138,10 @@ type Stats struct {
 	InlineScrubs   uint64 // stripes rebuilt inline by the write-path pressure valve
 	DirtyHighWater int64  // most stripes simultaneously unredundant
 	DamageBytes    int64  // bytes lost to disk failures in unprotected stripes
+
+	ChecksumDetected uint64 // unit reads that failed checksum verification
+	ChecksumRepaired uint64 // corrupt units rewritten from redundancy
+	ChecksumLost     uint64 // detected corruptions beyond redundancy (reported loss)
 }
 
 // Store is the functional AFRAID array.
@@ -150,6 +161,13 @@ type Store struct {
 	stats    Stats
 	scrubGen uint64         // bumped on foreground I/O to preempt scrub runs
 	claimed  map[int64]bool // stripes a drain worker is rebuilding right now
+
+	// quarantine holds dirty stripes whose scrub found unrecoverable
+	// checksum corruption: they must stay marked (rebuilding parity
+	// would bless the corrupt unit) but the drain machinery skips them
+	// so Flush terminates with a loss report instead of livelocking.
+	// Invariant: quarantine ⊆ marked; any mark/unmark drops the entry.
+	quarantine map[int64]bool
 
 	// In-progress repair (RepairDisk): stripes marked in repDone have
 	// already been rebuilt onto repDev, so degraded foreground writes
@@ -189,9 +207,11 @@ func Open(devs []BlockDevice, nv NVRAM, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("core: device %d size %d differs from device 0 size %d", i, d.Size(), size)
 		}
 	}
-	size = size / opts.StripeUnit * opts.StripeUnit
+	// With checksums, each device gives up trailer pages for its
+	// checksum slots; the usable size shrinks so data plus trailer fit.
+	size = layout.UsableDiskSize(size, opts.StripeUnit, opts.Checksums)
 	if size == 0 {
-		return nil, fmt.Errorf("core: devices smaller than one stripe unit")
+		return nil, fmt.Errorf("core: devices smaller than one stripe unit (plus checksum trailer)")
 	}
 	lvl := layout.RAID5
 	switch opts.Mode {
@@ -213,20 +233,21 @@ func Open(devs []BlockDevice, nv NVRAM, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		geo:     geo,
-		devs:    devs,
-		opts:    opts,
-		nv:      nv,
-		dead:    -1,
-		dead2:   -1,
-		repDisk: -1,
-		lastIO:  time.Now(),
-		claimed: make(map[int64]bool),
-		ioCh:    make(chan ioReq),
-		ob:      newStoreObs(),
-		kick:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		policy:  make([]StripePolicy, geo.Stripes()),
+		geo:        geo,
+		devs:       devs,
+		opts:       opts,
+		nv:         nv,
+		dead:       -1,
+		dead2:      -1,
+		repDisk:    -1,
+		lastIO:     time.Now(),
+		claimed:    make(map[int64]bool),
+		quarantine: make(map[int64]bool),
+		ioCh:       make(chan ioReq),
+		ob:         newStoreObs(),
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		policy:     make([]StripePolicy, geo.Stripes()),
 	}
 	// I/O workers serve the per-disk unit reads fanned out by stripe
 	// rebuilds, degraded reads, and parity checks. Enough for every
@@ -256,6 +277,11 @@ func Open(devs []BlockDevice, nv NVRAM, opts Options) (*Store, error) {
 			s.dead2 = i
 		default:
 			return nil, fmt.Errorf("core: devices %d and %d both failed: %w", s.dead, i, ErrTooManyFailures)
+		}
+	}
+	if opts.Checksums {
+		if err := s.formatChecksums(); err != nil {
+			return nil, fmt.Errorf("core: formatting checksum trailers: %w", err)
 		}
 	}
 	if err := s.recoverNVRAM(); err != nil {
@@ -495,8 +521,17 @@ func (s *Store) ReadContext(ctx context.Context, p []byte, off int64) (int, erro
 			// store to degraded mode; retry the span, now reconstructing
 			// around the dead disk. absorbFailure refuses once the
 			// redundancy is exhausted; the tries bound guards against a
-			// span that keeps tripping on an already-absorbed member.
-			if err == nil || tries >= len(s.devs) || !s.absorbFailure(err) {
+			// span that keeps tripping on an already-absorbed member. A
+			// checksum mismatch is absorbed the same way: repair the one
+			// corrupt unit from redundancy, then retry the span.
+			if err == nil || tries >= s.spanRetryBudget() {
+				break
+			}
+			if s.absorbFailure(err) {
+				continue
+			}
+			var retry bool
+			if retry, err = s.absorbMismatch(err); !retry {
 				break
 			}
 		}
@@ -625,10 +660,34 @@ func (s *Store) WriteContext(ctx context.Context, p []byte, off int64) (int, err
 			} else {
 				err = s.writeSpan(p, off, sp)
 			}
-			// See ReadContext: absorb a fail-stop member and retry the
-			// span under the synchronous degraded write protocol.
-			if err == nil || tries >= len(s.devs) || !s.absorbFailure(err) {
+			// See ReadContext: absorb a fail-stop member (or repair a
+			// unit that failed checksum verification) and retry the span
+			// under the appropriate protocol.
+			if err == nil || tries >= s.spanRetryBudget() {
 				break
+			}
+			if s.absorbFailure(err) {
+				continue
+			}
+			var retry bool
+			if retry, err = s.absorbMismatch(err); !retry {
+				break
+			}
+			// The failed attempt may have applied its parity delta
+			// partially before the corrupt unit surfaced; rebuild parity
+			// from at-rest data so the retried read-modify-write starts
+			// from a consistent stripe. Corruption met during the
+			// rebuild joins the absorb loop like any other span error.
+			if err = s.resyncParity(sp.Stripe); err != nil {
+				if s.absorbFailure(err) {
+					continue
+				}
+				if retry, err = s.absorbMismatch(err); !retry {
+					break
+				}
+				if err = s.resyncParity(sp.Stripe); err != nil {
+					break
+				}
 			}
 		}
 		lk.Unlock()
@@ -672,6 +731,12 @@ func (s *Store) writeSpan(p []byte, base int64, sp layout.StripeSpan) error {
 	case PolicyAlwaysRedundant:
 		return s.writeSpanRaid5(p, base, sp)
 	default: // AFRAID
+		// Verify the old contents under partial extents *before* marking:
+		// a corruption found after our own mark would be misread as
+		// dirty-stripe loss (see preflightChecksums).
+		if err := s.preflightChecksums(sp); err != nil {
+			return err
+		}
 		if err := s.markStripe(sp.Stripe); err != nil {
 			return err
 		}
@@ -808,6 +873,9 @@ func (s *Store) storeStripeImage(stripe int64, sb *stripeBuf, dead int, wasDirty
 				if _, err := rd.WriteAt(u, off); err != nil {
 					return fmt.Errorf("core: repair mirror write: %w", err)
 				}
+				if err := s.putChecksumTo(rd, stripe, u); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -824,6 +892,9 @@ func (s *Store) storeStripeImage(stripe int64, sb *stripeBuf, dead int, wasDirty
 			if _, err := rd.WriteAt(sb.p, off); err != nil {
 				return fmt.Errorf("core: repair mirror parity write: %w", err)
 			}
+			if err := s.putChecksumTo(rd, stripe, sb.p); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -833,6 +904,7 @@ func (s *Store) storeStripeImage(stripe int64, sb *stripeBuf, dead int, wasDirty
 	if wasDirty {
 		s.meta.Lock()
 		s.marks.Unmark(stripe)
+		s.dropQuarantine(stripe)
 		err := s.persistMarks()
 		s.meta.Unlock()
 		if err != nil {

@@ -35,6 +35,7 @@ type tortureState struct {
 	t    *testing.T
 	rng  tortureRNG
 	mode Mode
+	csum bool // run with Options.Checksums and inject bit flips
 	devs []BlockDevice
 	nv   *MemNVRAM
 	s    *Store
@@ -43,13 +44,27 @@ type tortureState struct {
 	dead map[int]bool
 	unit int64
 	sb   int64 // stripe data bytes
+
+	flippedParity bool // latent parity flips outstanding (csum mode)
+	flips         int
+	detected      uint64 // ChecksumDetected accumulated across reopens
+	csumLost      uint64 // ChecksumLost accumulated across reopens
 }
 
-func newTorture(t *testing.T, mode Mode, disks int, seed uint64) *tortureState {
+// harvestStats folds the live store's checksum counters into the
+// cross-reopen accumulators (a reopened store starts them at zero).
+func (ts *tortureState) harvestStats() {
+	st := ts.s.Stats()
+	ts.detected += st.ChecksumDetected
+	ts.csumLost += st.ChecksumLost
+}
+
+func newTorture(t *testing.T, mode Mode, disks int, seed uint64, csum bool) *tortureState {
 	ts := &tortureState{
 		t:    t,
 		rng:  tortureRNG(seed),
 		mode: mode,
+		csum: csum,
 		nv:   &MemNVRAM{},
 		lost: map[int64]bool{},
 		dead: map[int]bool{},
@@ -71,6 +86,7 @@ func (ts *tortureState) open() {
 		StripeUnit:      testUnit,
 		ScrubIdle:       time.Hour,
 		DisableScrubber: true,
+		Checksums:       ts.csum,
 	})
 	if err != nil {
 		ts.t.Fatalf("open: %v", err)
@@ -202,9 +218,77 @@ func (ts *tortureState) logf(format string, args ...interface{}) {
 	}
 }
 
+// maybeFlip injects silent corruption (csum mode only): one flipped bit
+// on a random disk's unit of a random *clean* stripe, behind the
+// store's back. A flipped data unit must be detected and repaired by
+// the very next read of it — checked on the spot. A flipped parity
+// unit stays latent (nothing reads it until a degraded read, a
+// read-modify-write, or an audit); it is swept up by CheckParity before
+// any disk failure, since corrupt parity plus a dead member would be a
+// genuine double failure the loss model does not track.
+func (ts *tortureState) maybeFlip(i int) {
+	if len(ts.dead) > 0 {
+		return
+	}
+	geo := ts.s.Geometry()
+	stripe := int64(ts.rng.intn(int(geo.Stripes())))
+	ts.s.meta.Lock()
+	dirty := ts.s.marks.IsMarked(stripe)
+	ts.s.meta.Unlock()
+	if dirty {
+		return
+	}
+	d := ts.rng.intn(len(ts.devs))
+	off := geo.DiskOffset(stripe) + int64(ts.rng.intn(int(ts.unit)))
+	b := make([]byte, 1)
+	if _, err := ts.devs[d].ReadAt(b, off); err != nil {
+		ts.t.Fatalf("step %d: flip read: %v", i, err)
+	}
+	b[0] ^= 1 << (ts.rng.intn(8))
+	if _, err := ts.devs[d].WriteAt(b, off); err != nil {
+		ts.t.Fatalf("step %d: flip write: %v", i, err)
+	}
+	ts.flips++
+	uoff := ts.diskUnitOffset(stripe, d)
+	ts.logf("step %d: flip disk %d stripe %d (unit off %d)", i, d, stripe, uoff)
+	if uoff < 0 {
+		ts.flippedParity = true
+		return
+	}
+	// A latent parity flip in this same stripe would make the fresh data
+	// flip a double failure on single-parity layouts; sweep first (which
+	// may also repair the data flip — the read below passes either way).
+	before := ts.s.Stats().ChecksumDetected
+	ts.sweepParityFlips(i)
+	buf := make([]byte, ts.unit)
+	if _, err := ts.s.ReadAt(buf, uoff); err != nil {
+		ts.t.Fatalf("step %d: read of flipped unit %d: %v", i, uoff, err)
+	}
+	if !bytes.Equal(buf, ts.img[uoff:uoff+ts.unit]) {
+		ts.t.Fatalf("step %d: flipped unit %d served corrupt", i, uoff)
+	}
+	if ts.s.Stats().ChecksumDetected == before {
+		ts.t.Fatalf("step %d: flip on unit %d served correctly but undetected", i, uoff)
+	}
+}
+
+// sweepParityFlips repairs latent parity corruption via a full audit.
+func (ts *tortureState) sweepParityFlips(i int) {
+	if !ts.flippedParity {
+		return
+	}
+	if _, err := ts.s.CheckParity(); err != nil {
+		ts.t.Fatalf("step %d: parity sweep: %v", i, err)
+	}
+	ts.flippedParity = false
+}
+
 func (ts *tortureState) step(i int) {
 	s := ts.s
 	capacity := s.Capacity()
+	if ts.csum && ts.rng.intn(8) == 0 {
+		ts.maybeFlip(i)
+	}
 	switch op := ts.rng.intn(100); {
 	case op < 50: // write
 		n := int64(ts.rng.intn(3*int(ts.unit)) + 1)
@@ -267,6 +351,7 @@ func (ts *tortureState) step(i int) {
 		}
 	case op < 90: // crash and reopen
 		ts.logf("step %d: crash+reopen", i)
+		ts.harvestStats()
 		if err := s.Close(); err != nil {
 			ts.t.Fatalf("step %d: close: %v", i, err)
 		}
@@ -282,6 +367,9 @@ func (ts *tortureState) step(i int) {
 		d := ts.rng.intn(len(ts.devs))
 		if ts.dead[d] {
 			return
+		}
+		if ts.csum {
+			ts.sweepParityFlips(i)
 		}
 		ts.logf("step %d: fail disk %d", i, d)
 		if err := s.FailDisk(d); err != nil {
@@ -320,8 +408,8 @@ func (ts *tortureState) step(i int) {
 	}
 }
 
-func runTorture(t *testing.T, mode Mode, disks int, seed uint64, steps int) {
-	ts := newTorture(t, mode, disks, seed)
+func runTorture(t *testing.T, mode Mode, disks int, seed uint64, steps int, csum bool) {
+	ts := newTorture(t, mode, disks, seed, csum)
 	defer ts.s.Close()
 	for i := 0; i < steps; i++ {
 		ts.step(i)
@@ -352,28 +440,62 @@ func runTorture(t *testing.T, mode Mode, disks int, seed uint64, steps int) {
 	if bad, err := ts.s.CheckParity(); err != nil || len(bad) != 0 {
 		t.Fatalf("final parity check: bad=%v err=%v", bad, err)
 	}
+	if csum {
+		ts.harvestStats()
+		if ts.flips > 0 && ts.detected == 0 {
+			t.Fatalf("%d flips injected but none detected", ts.flips)
+		}
+		if ts.csumLost != 0 {
+			t.Fatalf("checksum losses on repairable corruption: detected=%d lost=%d", ts.detected, ts.csumLost)
+		}
+		if q := ts.s.QuarantinedStripes(); len(q) != 0 {
+			t.Fatalf("stripes left quarantined: %v", q)
+		}
+	}
 }
 
 func TestTortureAfraid(t *testing.T) {
 	for seed := uint64(1); seed <= 4; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runTorture(t, Afraid, 5, seed, 600)
+			runTorture(t, Afraid, 5, seed, 600, false)
 		})
 	}
 }
 
 func TestTortureRaid5(t *testing.T) {
-	runTorture(t, Raid5, 5, 99, 500)
+	runTorture(t, Raid5, 5, 99, 500, false)
 }
 
 func TestTortureAfraid6(t *testing.T) {
 	for seed := uint64(11); seed <= 13; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runTorture(t, Afraid6, 6, seed, 500)
+			runTorture(t, Afraid6, 6, seed, 500, false)
 		})
 	}
 }
 
 func TestTortureRaid6(t *testing.T) {
-	runTorture(t, Raid6, 6, 7, 500)
+	runTorture(t, Raid6, 6, 7, 500, false)
+}
+
+// TestTortureChecksums runs the same gauntlet with Options.Checksums on
+// and random bit flips injected between operations: every flip must end
+// detected-and-repaired (zero silent corruption, zero losses).
+// TestChecksumFlipSilentWhenDisabled proves the same tampering corrupts
+// reads when checksums are off, so these passes are not vacuous.
+func TestTortureChecksums(t *testing.T) {
+	for _, tc := range []struct {
+		mode  Mode
+		disks int
+		seed  uint64
+	}{
+		{Afraid, 5, 21},
+		{Raid5, 5, 22},
+		{Afraid6, 6, 23},
+		{Raid6, 6, 24},
+	} {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			runTorture(t, tc.mode, tc.disks, tc.seed, 500, true)
+		})
+	}
 }

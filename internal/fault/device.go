@@ -35,10 +35,11 @@ var (
 
 // Op describes one device operation for trigger evaluation.
 type Op struct {
-	N     uint64 // 1-based sequence number of this op on the device
-	Write bool
-	Off   int64
-	Len   int
+	N       uint64 // 1-based sequence number of this op on the device
+	Write   bool
+	Off     int64
+	Len     int
+	Trailer bool // op starts in the checksum-trailer region (SetChecksumRegion)
 }
 
 // Trigger decides whether a rule fires for an operation. Triggers may
@@ -71,6 +72,12 @@ func InRange(off, length int64) Trigger {
 	return func(op Op, _ *rand.Rand) bool {
 		return op.Off < off+length && op.Off+int64(op.Len) > off
 	}
+}
+
+// Trailer fires on ops that touch the checksum-trailer region declared
+// with SetChecksumRegion. With no region declared it never fires.
+func Trailer() Trigger {
+	return func(op Op, _ *rand.Rand) bool { return op.Trailer }
 }
 
 // Prob fires with probability p, drawn from the device's seeded RNG.
@@ -135,8 +142,10 @@ func Delay(d time.Duration) Action { return Action{kind: actDelay, delay: d} }
 // none of it) and returns ErrTorn. Ignored on reads.
 func TornWrite() Action { return Action{kind: actTornWrite} }
 
-// FlipBit silently corrupts one seeded-random bit of the written data;
-// the write "succeeds". Ignored on reads.
+// FlipBit silently corrupts one seeded-random bit. On a write the
+// flipped data lands and the write "succeeds"; on a read the flip is
+// also persisted to the backing — media decay discovered (or not) at
+// read time, not a one-shot transfer glitch.
 func FlipBit() Action { return Action{kind: actFlipBit} }
 
 // Rule is a Trigger-gated Action with an optional firing budget.
@@ -166,19 +175,20 @@ type Stats struct {
 // mutex-serialized, so a single-threaded op stream with a fixed seed
 // replays the same fault schedule exactly.
 type Device struct {
-	mu      sync.Mutex
-	backing core.BlockDevice
-	rng     *rand.Rand
-	rules   []*Rule
-	line    *PowerLine
-	failed  bool
-	ops     uint64
-	stats   Stats
+	mu        sync.Mutex
+	backing   core.BlockDevice
+	rng       *rand.Rand
+	rules     []*Rule
+	line      *PowerLine
+	failed    bool
+	ops       uint64
+	csumStart int64 // device offset where the checksum trailer begins; -1 = none
+	stats     Stats
 }
 
 // New wraps backing with a fault layer seeded with seed.
 func New(backing core.BlockDevice, seed int64, plan ...Rule) *Device {
-	d := &Device{backing: backing, rng: rand.New(rand.NewSource(seed))}
+	d := &Device{backing: backing, rng: rand.New(rand.NewSource(seed)), csumStart: -1}
 	for _, r := range plan {
 		d.AddRule(r)
 	}
@@ -208,6 +218,19 @@ func Devices(ds []*Device) []core.BlockDevice {
 func (d *Device) OnLine(l *PowerLine) *Device {
 	d.mu.Lock()
 	d.line = l
+	d.mu.Unlock()
+	return d
+}
+
+// SetChecksumRegion declares where the store's checksum trailer starts
+// on this device (core's layout.Geometry.DiskSize), so triggers can
+// tell data I/O from checksum-slot I/O: Trailer() gates a rule to slot
+// ops, and a TornWrite firing there models the torn-metadata crash —
+// a slot half-landed, which the store must treat as a mismatch (detect
+// and repair), never as a valid checksum.
+func (d *Device) SetChecksumRegion(start int64) *Device {
+	d.mu.Lock()
+	d.csumStart = start
 	d.mu.Unlock()
 	return d
 }
@@ -278,7 +301,7 @@ func (d *Device) fire(op Op) (Action, bool) {
 		if r.Max > 0 && r.hits >= r.Max {
 			continue
 		}
-		if !op.Write && (r.Do.kind == actTornWrite || r.Do.kind == actFlipBit) {
+		if !op.Write && r.Do.kind == actTornWrite {
 			continue
 		}
 		if r.When != nil && !r.When(op, d.rng) {
@@ -309,7 +332,7 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 	}
 	d.ops++
 	d.stats.Reads++
-	act, ok := d.fire(Op{N: d.ops, Off: off, Len: len(p)})
+	act, ok := d.fire(Op{N: d.ops, Off: off, Len: len(p), Trailer: d.csumStart >= 0 && off >= d.csumStart})
 	if ok {
 		switch act.kind {
 		case actFailStop:
@@ -321,6 +344,22 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 			d.stats.Transients++
 			d.mu.Unlock()
 			return 0, act.err
+		case actFlipBit:
+			if len(p) > 0 {
+				// Read-path bit decay: the medium rotted under this
+				// range. The flip is persisted to the backing so it is
+				// durable corruption every later read sees too.
+				d.stats.FlipBits++
+				bit := d.rng.Intn(len(p) * 8)
+				d.mu.Unlock()
+				n, err := d.backing.ReadAt(p, off)
+				if err != nil {
+					return n, err
+				}
+				p[bit/8] ^= 1 << (bit % 8)
+				d.backing.WriteAt(p[bit/8:bit/8+1], off+int64(bit/8))
+				return n, nil
+			}
 		}
 	}
 	d.mu.Unlock()
@@ -349,7 +388,7 @@ func (d *Device) WriteAt(p []byte, off int64) (int, error) {
 	}
 	d.ops++
 	d.stats.Writes++
-	act, ok := d.fire(Op{N: d.ops, Write: true, Off: off, Len: len(p)})
+	act, ok := d.fire(Op{N: d.ops, Write: true, Off: off, Len: len(p), Trailer: d.csumStart >= 0 && off >= d.csumStart})
 	if ok {
 		switch act.kind {
 		case actFailStop:

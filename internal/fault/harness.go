@@ -33,6 +33,23 @@ type Config struct {
 	DropNVRAM  bool // the crash also destroys the marking memory (paper §4)
 	DiskFails  int  // disks to fail after recovery (capped at the redundancy)
 	Repair     bool // repair failed disks and audit the damage report
+
+	Checksums bool // open the store with Options.Checksums
+	FlipBits  int  // write-path silent bit flips to arm (one rule each)
+	ReadRot   int  // read-path bit-decay flips to arm (one rule each)
+}
+
+// storeOptions maps the episode config onto core.Options (shared by the
+// initial open and the post-crash reopen).
+func (c Config) storeOptions() core.Options {
+	return core.Options{
+		Mode:              c.Mode,
+		StripeUnit:        c.StripeUnit,
+		ScrubIdle:         c.ScrubIdle,
+		DirtyThreshold:    c.DirtyThreshold,
+		DeferBothParities: c.DeferBothParities,
+		Checksums:         c.Checksums,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +111,11 @@ type Result struct {
 	LostBytes        int64  // bytes reported lost by repair
 	DamagedStripes   int    // stripes in the damage report
 	RecoveredStripes uint64 // stripes reconstructed exactly by repair
+
+	FlipBits          int    // silent bit flips the device layer actually injected
+	ChecksumsDetected uint64 // corrupt units the store caught (Options.Checksums)
+	ChecksumsRepaired uint64 // corrupt units rewritten from redundancy
+	ChecksumsLost     uint64 // corrupt units with no redundancy left
 }
 
 func (r *Result) violate(format string, args ...any) {
@@ -118,11 +140,20 @@ type episode struct {
 	victims    []int          // disks with an armed transient rule
 }
 
+// csumArmed reports whether the schedule injects silent corruption.
+// With flips armed, any *reported* loss is legal — two flips can land
+// in one synchronous-RAID5 stripe, a genuine double failure — but
+// silent divergence never is: checkLiveRead and verify still compare
+// every successful read byte-exact.
+func (e *episode) csumArmed() bool { return e.cfg.FlipBits > 0 || e.cfg.ReadRot > 0 }
+
 // allowedLoss reports whether a stripe may legally lose data: it was
 // marked unredundant at a failure point, was covered by a write the
-// store never acknowledged, or was already reported damaged.
+// store never acknowledged, was already reported damaged, or the
+// schedule injects corruption (reported loss is then always legal —
+// only silent corruption violates).
 func (e *episode) allowedLoss(stripe int64) bool {
-	return e.dirtyUnion[stripe] || e.sh.holes[stripe] || e.damaged[stripe]
+	return e.dirtyUnion[stripe] || e.sh.holes[stripe] || e.damaged[stripe] || e.csumArmed()
 }
 
 // sampleDirty folds the store's current unredundant set into the union.
@@ -132,6 +163,15 @@ func (e *episode) sampleDirty() {
 	for _, st := range e.st.DirtyList() {
 		e.dirtyUnion[st] = true
 	}
+}
+
+// stripeReadsLost reports whether reading the stripe's data back
+// returns ErrDataLoss — i.e. the store detected corruption there and
+// refuses to serve it rather than serving it silently.
+func (e *episode) stripeReadsLost(stripe int64) bool {
+	buf := make([]byte, e.geo.StripeDataBytes())
+	_, err := e.st.ReadAt(buf, stripe*e.geo.StripeDataBytes())
+	return errors.Is(err, core.ErrDataLoss)
 }
 
 // RunEpisode runs one seeded crash/fault episode and checks the store
@@ -162,20 +202,18 @@ func RunEpisode(cfg Config) (*Result, error) {
 	if deferred(cfg.Mode) {
 		e.nv = &core.MemNVRAM{}
 	}
-	opts := core.Options{
-		Mode:              cfg.Mode,
-		StripeUnit:        cfg.StripeUnit,
-		ScrubIdle:         cfg.ScrubIdle,
-		DirtyThreshold:    cfg.DirtyThreshold,
-		DeferBothParities: cfg.DeferBothParities,
-	}
-	st, err := core.Open(Devices(e.devs), e.nv, opts)
+	st, err := core.Open(Devices(e.devs), e.nv, cfg.storeOptions())
 	if err != nil {
 		return res, err
 	}
 	e.st = st
 	e.geo = st.Geometry()
 	e.sh = newShadow(st.Capacity(), e.geo.StripeDataBytes())
+	if cfg.Checksums {
+		for _, d := range e.devs {
+			d.SetChecksumRegion(e.geo.DiskSize)
+		}
+	}
 
 	// Arm the schedule. Transient faults (which the store absorbs as
 	// fail-stop) land on distinct victims, capped at the redundancy so
@@ -192,6 +230,23 @@ func RunEpisode(cfg Config) (*Result, error) {
 		})
 		res.FailedDisks = append(res.FailedDisks, v)
 		e.victims = append(e.victims, v)
+	}
+	// Silent corruption: seeded one-shot bit flips, on the write path
+	// (FlipBits) and as read-time media decay (ReadRot). Each rule lands
+	// on a random device after a random number of its ops.
+	for k := 0; k < cfg.FlipBits; k++ {
+		e.devs[e.rng.Intn(cfg.Disks)].AddRule(Rule{
+			When: All(Writes(), After(uint64(e.rng.Intn(cfg.Ops*2+1)))),
+			Do:   FlipBit(),
+			Max:  1,
+		})
+	}
+	for k := 0; k < cfg.ReadRot; k++ {
+		e.devs[e.rng.Intn(cfg.Disks)].AddRule(Rule{
+			When: All(Reads(), After(uint64(e.rng.Intn(cfg.Ops*2+1)))),
+			Do:   FlipBit(),
+			Max:  1,
+		})
 	}
 	if cfg.PowerCut {
 		// Device writes outnumber workload ops; a fuse within a few
@@ -232,18 +287,41 @@ func RunEpisode(cfg Config) (*Result, error) {
 	}
 
 	// Parity audit: after a Flush on a whole array, only hole stripes
-	// (sync modes never revisit them) may be inconsistent.
+	// (sync modes never revisit them), stripes still dirty (held by
+	// quarantine), and corrupted stripes whose reads report loss may be
+	// inconsistent.
 	if len(e.st.DeadDisks()) == 0 {
 		auditErr := e.st.Flush()
+		if auditErr != nil && e.cfg.Checksums && errors.Is(auditErr, core.ErrDataLoss) {
+			// Stripes quarantined by detected-but-unrecoverable corruption
+			// hold their dirty marks, so Flush reports loss. That is loss
+			// accounting, not an audit failure — provided each quarantined
+			// stripe is one that may legally lose data.
+			for _, stp := range e.st.QuarantinedStripes() {
+				if !e.allowedLoss(stp) {
+					res.violate("stripe %d quarantined by corruption but was never unredundant", stp)
+				}
+			}
+			e.sampleDirty()
+			auditErr = nil
+		}
 		if auditErr == nil {
+			dirtyNow := make(map[int64]bool)
+			for _, stp := range e.st.DirtyList() {
+				dirtyNow[stp] = true
+			}
 			bad, err := e.st.CheckParity()
 			if err != nil {
 				auditErr = err
 			}
 			for _, stp := range bad {
-				if !e.sh.holes[stp] {
-					res.violate("parity inconsistent after flush on stripe %d (not a hole stripe)", stp)
+				if e.sh.holes[stp] || dirtyNow[stp] {
+					continue
 				}
+				if e.csumArmed() && e.stripeReadsLost(stp) {
+					continue // detected corruption, reported as loss
+				}
+				res.violate("parity inconsistent after flush on stripe %d (not a hole stripe)", stp)
 			}
 		}
 		if auditErr != nil {
@@ -262,7 +340,14 @@ func RunEpisode(cfg Config) (*Result, error) {
 	}
 
 	res.HoleStripes = len(e.sh.holes)
-	res.RecoveredStripes = e.st.Stats().RecoveredStripes
+	stats := e.st.Stats()
+	res.RecoveredStripes = stats.RecoveredStripes
+	res.ChecksumsDetected += stats.ChecksumDetected
+	res.ChecksumsRepaired += stats.ChecksumRepaired
+	res.ChecksumsLost += stats.ChecksumLost
+	for _, d := range e.devs {
+		res.FlipBits += int(d.Stats().FlipBits)
+	}
 	e.st.Close()
 	return res, nil
 }
@@ -271,6 +356,15 @@ func RunEpisode(cfg Config) (*Result, error) {
 // surviving device contents — the machine rebooting after the crash.
 func (e *episode) crashAndRecover() error {
 	deadPre := e.st.DeadDisks()
+	// The crash loses the in-memory counters and the wrapper stats
+	// (re-wrapping resets them); fold both into the result first.
+	stats := e.st.Stats()
+	e.res.ChecksumsDetected += stats.ChecksumDetected
+	e.res.ChecksumsRepaired += stats.ChecksumRepaired
+	e.res.ChecksumsLost += stats.ChecksumLost
+	for _, d := range e.devs {
+		e.res.FlipBits += int(d.Stats().FlipBits)
+	}
 	e.st.Close() // wrappers skip closing backings while the line is cut
 	e.res.Crashed = true
 
@@ -291,14 +385,12 @@ func (e *episode) crashAndRecover() error {
 		nv = NewLostNVRAM()
 		e.nv = nv
 	}
-	opts := core.Options{
-		Mode:              e.cfg.Mode,
-		StripeUnit:        e.cfg.StripeUnit,
-		ScrubIdle:         e.cfg.ScrubIdle,
-		DirtyThreshold:    e.cfg.DirtyThreshold,
-		DeferBothParities: e.cfg.DeferBothParities,
+	if e.cfg.Checksums {
+		for _, d := range e.devs {
+			d.SetChecksumRegion(e.geo.DiskSize)
+		}
 	}
-	st, err := core.Open(Devices(e.devs), nv, opts)
+	st, err := core.Open(Devices(e.devs), nv, e.cfg.storeOptions())
 	if err != nil {
 		return fmt.Errorf("fault: reopen after crash: %w", err)
 	}
@@ -386,10 +478,14 @@ func (e *episode) repairDisks() error {
 	for _, i := range e.st.DeadDisks() {
 		e.sampleDirty()
 		rep := New(core.NewMemDevice(diskSize), e.cfg.Seed+100+int64(i)).OnLine(e.line)
+		if e.cfg.Checksums {
+			rep.SetChecksumRegion(e.geo.DiskSize)
+		}
 		report, err := e.st.RepairDisk(i, rep)
 		if err != nil {
 			return fmt.Errorf("fault: repair disk %d: %w", i, err)
 		}
+		e.res.FlipBits += int(e.devs[i].Stats().FlipBits)
 		e.devs[i] = rep
 		for _, lost := range report.Lost {
 			if !e.allowedLoss(lost.Stripe) {

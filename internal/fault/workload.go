@@ -65,8 +65,13 @@ func (e *episode) runWorkload(ops int) (cut bool, err error) {
 
 // liveLossAllowed reports whether a data-loss error on a live read of
 // [off, off+n) is legal: a member is down and some stripe in the range
-// is currently unredundant (or under an unacknowledged write).
+// is currently unredundant (or under an unacknowledged write). When the
+// schedule injects bit flips, any reported loss is legal — detecting
+// and refusing to serve corruption is exactly the contract under test.
 func (e *episode) liveLossAllowed(off, n int64) bool {
+	if e.csumArmed() {
+		return true
+	}
 	if len(e.st.DeadDisks()) == 0 {
 		return false
 	}

@@ -91,6 +91,45 @@ func (g Geometry) Capacity() int64 { return g.Stripes() * g.StripeDataBytes() }
 // stripe unit.
 func (g Geometry) DiskOffset(stripe int64) int64 { return stripe * g.StripeUnit }
 
+// ChecksumSlotSize is the size of one per-unit checksum slot in a
+// device's checksum trailer: a 4-byte magic followed by the stripe
+// unit's CRC32C, both big-endian.
+const ChecksumSlotSize = 8
+
+// ChecksumTrailerBytes returns the per-device checksum trailer size for
+// this geometry: one slot per stripe, rounded up to whole stripe-unit
+// pages so the trailer never shares a page with client data.
+func (g Geometry) ChecksumTrailerBytes() int64 {
+	raw := g.Stripes() * ChecksumSlotSize
+	return (raw + g.StripeUnit - 1) / g.StripeUnit * g.StripeUnit
+}
+
+// ChecksumOff returns the device byte offset of the checksum slot for a
+// stripe's unit on that device. Trailers start immediately past the
+// usable disk bytes.
+func (g Geometry) ChecksumOff(stripe int64) int64 {
+	return g.DiskSize + stripe*ChecksumSlotSize
+}
+
+// UsableDiskSize returns the largest stripe-unit multiple S of a raw
+// device size such that S plus the checksum trailer for S stripes still
+// fits on the device when checksums are enabled (just the truncation to
+// whole units otherwise). Zero means the device is too small.
+func UsableDiskSize(raw, stripeUnit int64, checksums bool) int64 {
+	s := raw / stripeUnit * stripeUnit
+	if !checksums {
+		return s
+	}
+	for s > 0 {
+		g := Geometry{StripeUnit: stripeUnit, DiskSize: s}
+		if s+g.ChecksumTrailerBytes() <= raw {
+			return s
+		}
+		s -= stripeUnit
+	}
+	return 0
+}
+
 // ParityDisk returns the disk holding the (P) parity unit of a stripe.
 // Left-symmetric: parity starts on the last disk for stripe 0 and
 // rotates one disk to the left each stripe. RAID 0 has no parity and

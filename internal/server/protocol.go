@@ -282,7 +282,8 @@ func ReadResponse(br *bufio.Reader, maxPayload uint32) (Response, error) {
 //
 //	1: mode + capacity/dirty/reads/writes/bytes/scrubbed counters
 //	2: v1 + read/write latency percentiles (p50/p95/p99, ns)
-const StatVersion = 2
+//	3: v2 + checksum counters (detected/repaired/lost)
+const StatVersion = 3
 
 // Stat is the STAT payload: a snapshot of the served store.
 type Stat struct {
@@ -299,11 +300,18 @@ type Stat struct {
 	// when the server only speaks version 1).
 	ReadP50, ReadP95, ReadP99    time.Duration
 	WriteP50, WriteP95, WriteP99 time.Duration
+
+	// Block-checksum counters (STAT version >= 3; zero when the server
+	// speaks an older version or runs without Options.Checksums).
+	ChecksumDetected uint64
+	ChecksumRepaired uint64
+	ChecksumLost     uint64
 }
 
 const (
 	statPayloadLenV1 = 1 + 1 + 7*8
 	statPayloadLenV2 = statPayloadLenV1 + 6*8
+	statPayloadLenV3 = statPayloadLenV2 + 3*8
 )
 
 // statVersionFor clamps a client-advertised version to what this server
@@ -339,6 +347,11 @@ func appendStat(dst []byte, st *Stat, version uint8) []byte {
 			dst = binary.BigEndian.AppendUint64(dst, uint64(d))
 		}
 	}
+	if version >= 3 {
+		for _, v := range [...]uint64{st.ChecksumDetected, st.ChecksumRepaired, st.ChecksumLost} {
+			dst = binary.BigEndian.AppendUint64(dst, v)
+		}
+	}
 	return dst
 }
 
@@ -355,6 +368,8 @@ func decodeStat(b []byte) (Stat, error) {
 		want = statPayloadLenV1
 	case 2:
 		want = statPayloadLenV2
+	case 3:
+		want = statPayloadLenV3
 	default:
 		return st, fmt.Errorf("server: unknown stat version %d", b[0])
 	}
@@ -377,6 +392,11 @@ func decodeStat(b []byte) (Stat, error) {
 		st.WriteP50 = time.Duration(u(10))
 		st.WriteP95 = time.Duration(u(11))
 		st.WriteP99 = time.Duration(u(12))
+	}
+	if b[0] >= 3 {
+		st.ChecksumDetected = u(13)
+		st.ChecksumRepaired = u(14)
+		st.ChecksumLost = u(15)
 	}
 	return st, nil
 }

@@ -370,6 +370,11 @@ func (s *Server) apply(ctx context.Context, r *Request) Response {
 			stat.ReadP50, stat.ReadP95, stat.ReadP99 = rl.Quantile(0.50), rl.Quantile(0.95), rl.Quantile(0.99)
 			stat.WriteP50, stat.WriteP95, stat.WriteP99 = wl.Quantile(0.50), wl.Quantile(0.95), wl.Quantile(0.99)
 		}
+		if ver >= 3 {
+			stat.ChecksumDetected = st.ChecksumDetected
+			stat.ChecksumRepaired = st.ChecksumRepaired
+			stat.ChecksumLost = st.ChecksumLost
+		}
 		resp.Data = appendStat(nil, &stat, ver)
 	default:
 		resp.Status = StatusBadRequest

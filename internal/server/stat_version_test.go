@@ -57,6 +57,41 @@ func TestStatV1DropsPercentiles(t *testing.T) {
 	}
 }
 
+// TestStatV3RoundTrip: the checksum counters survive a v3 encode/decode
+// cycle, and a v2 encoding of the same Stat drops them cleanly.
+func TestStatV3RoundTrip(t *testing.T) {
+	want := Stat{
+		Capacity: 256 << 20, Mode: 1, DirtyStripes: 5,
+		Reads: 10, Writes: 20, BytesRead: 1 << 20, BytesWritten: 1 << 21,
+		ScrubbedStripes:  4,
+		ReadP50:          time.Microsecond,
+		WriteP99:         time.Millisecond,
+		ChecksumDetected: 7, ChecksumRepaired: 6, ChecksumLost: 1,
+	}
+	b := appendStat(nil, &want, 3)
+	if len(b) != statPayloadLenV3 {
+		t.Fatalf("v3 payload %d bytes, want %d", len(b), statPayloadLenV3)
+	}
+	got, err := decodeStat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("v3 round trip: got %+v want %+v", got, want)
+	}
+
+	v2, err := decodeStat(appendStat(nil, &want, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.ChecksumDetected != 0 || v2.ChecksumRepaired != 0 || v2.ChecksumLost != 0 {
+		t.Fatalf("v2 decode produced checksum counters from nowhere: %+v", v2)
+	}
+	if v2.ScrubbedStripes != want.ScrubbedStripes || v2.WriteP99 != want.WriteP99 {
+		t.Fatalf("v2 base fields: got %+v", v2)
+	}
+}
+
 func TestStatVersionClamping(t *testing.T) {
 	cases := []struct {
 		advertised uint32
@@ -64,9 +99,10 @@ func TestStatVersionClamping(t *testing.T) {
 	}{
 		{0, 1},  // pre-versioning client
 		{1, 1},  // explicit v1
-		{2, 2},  // current
-		{99, 2}, // future client against this server
-		{1 << 20, 2},
+		{2, 2},  // explicit v2
+		{3, 3},  // current
+		{99, 3}, // future client against this server
+		{1 << 20, 3},
 	}
 	for _, c := range cases {
 		if got := statVersionFor(c.advertised); got != c.want {
@@ -82,7 +118,7 @@ func TestStatVersionClamping(t *testing.T) {
 }
 
 func TestStatTruncatedPayloads(t *testing.T) {
-	for _, b := range [][]byte{nil, {2}, appendStat(nil, &Stat{}, 2)[:statPayloadLenV1], {7, 0}} {
+	for _, b := range [][]byte{nil, {2}, appendStat(nil, &Stat{}, 2)[:statPayloadLenV1], appendStat(nil, &Stat{}, 3)[:statPayloadLenV2], {7, 0}} {
 		if _, err := decodeStat(b); err == nil {
 			t.Errorf("decodeStat(%d bytes, version %v) accepted a bad payload", len(b), b)
 		}
