@@ -21,12 +21,14 @@ package afraid
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
 	"afraid/internal/disk"
 	"afraid/internal/exp"
 	"afraid/internal/parity"
+	"afraid/internal/tier"
 )
 
 const benchTraceDur = 30 * time.Second
@@ -481,6 +483,89 @@ func BenchmarkFlushThroughput(b *testing.B) {
 			b.ReportMetric(float64(drained)/inFlush.Seconds(), "stripes/s")
 		})
 	}
+}
+
+// BenchmarkTierSmallWrites measures the hybrid tier's reason to exist:
+// 4 KB random writes over a hot working set against ~50µs member
+// disks, hybrid (internal/tier: mirrored front over an AFRAID back)
+// vs bare AFRAID vs RAID 5. The front devices model faster media (no
+// added latency), so once the working set is promoted a small write
+// costs two mirror copies instead of a member-disk I/O; the hybrid
+// leg must beat bare AFRAID for the tier to pay its way, and RAID 5
+// shows the full small-update penalty both are avoiding.
+func BenchmarkTierSmallWrites(b *testing.B) {
+	const (
+		lat        = 50 * time.Microsecond
+		ioSize     = 4 << 10
+		extentSize = 64 << 10
+		workingSet = int64(16 * extentSize) // hot region, fits the front
+		backSize   = 16 << 20
+	)
+	newBack := func(mode StoreMode) *Store {
+		devs := make([]BlockDevice, 5)
+		for i := range devs {
+			devs[i] = &latencyDev{NewMemDevice(backSize), lat}
+		}
+		s, err := OpenStore(devs, nil, StoreOptions{Mode: mode, DisableScrubber: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	run := func(b *testing.B, w io.WriterAt) {
+		buf := make([]byte, ioSize)
+		rng := uint64(1996)
+		b.SetBytes(ioSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			off := int64(rng%uint64(workingSet/ioSize)) * ioSize
+			if _, err := w.WriteAt(buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	for _, mode := range []StoreMode{StoreRAID5, StoreAFRAID} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s := newBack(mode)
+			defer s.Close()
+			run(b, s)
+		})
+	}
+	b.Run("hybrid", func(b *testing.B) {
+		back := newBack(StoreAFRAID)
+		defer back.Close()
+		// Two mirror copies with room for the working set plus slack;
+		// each slot carries a 16-byte tag trailer.
+		frontSize := int64(24 * (extentSize + 16))
+		front := []BlockDevice{NewMemDevice(frontSize), NewMemDevice(frontSize)}
+		h, err := tier.Open(back, front, &MemNVRAM{}, tier.Options{
+			ExtentSize:      extentSize,
+			MaxDirtyBytes:   1 << 30, // never trip the pressure valve
+			DisableMigrator: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		// Promote the working set so the timed loop measures steady-state
+		// front hits, not one-time promotions.
+		warm := make([]byte, ioSize)
+		for off := int64(0); off < workingSet; off += extentSize {
+			if _, err := h.WriteAt(warm, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+		run(b, h)
+		ts := h.TierStats()
+		total := ts.FrontWriteHits + ts.WriteArounds
+		if total > 0 {
+			b.ReportMetric(float64(ts.FrontWriteHits)/float64(total), "front-hit-frac")
+		}
+	})
 }
 
 // BenchmarkDegradedMode runs the failure-injection study: a mid-trace

@@ -14,9 +14,18 @@
 //
 // Usage:
 //
+// With -tier the schedules instead target the hybrid tier
+// (internal/tier): a mirrored write-back front over an AFRAID back
+// end, with power cuts torn mid-promote and mid-demote, extent-map
+// loss, and front-copy fail-stops, all checked against a byte-level
+// shadow.
+//
+// Usage:
+//
 //	afraidchaos                              # 200 episodes, seed 1
 //	afraidchaos -episodes 500 -seed 7 -v
 //	afraidchaos -modes afraid,raid6 -ops 300
+//	afraidchaos -tier -episodes 200          # hybrid-tier schedules
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"afraid/internal/core"
 	"afraid/internal/fault"
+	"afraid/internal/tier"
 )
 
 func main() {
@@ -39,9 +49,14 @@ func main() {
 	stripes := flag.Int64("stripes", 0, "stripes per disk (0 = harness default)")
 	checksums := flag.Bool("checksums", true, "open stores with block checksums and arm silent bit flips")
 	flips := flag.Bool("flips", true, "arm silent bit-flip faults (with -checksums=false they go undetected)")
+	tierRun := flag.Bool("tier", false, "run hybrid-tier schedules (internal/tier) instead of bare-store ones")
 	verbose := flag.Bool("v", false, "print every episode")
 	failFast := flag.Bool("fail-fast", false, "stop at the first violation")
 	flag.Parse()
+
+	if *tierRun {
+		os.Exit(runTier(*seed, *episodes, *ops, *verbose, *failFast))
+	}
 
 	modes, err := parseModes(*modesFlag)
 	if err != nil {
@@ -101,6 +116,89 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nno invariant violations")
+}
+
+// runTier drives seeded hybrid-tier episodes: every fourth episode is
+// fault-free, and the rest mix power cuts (torn mid-promote,
+// mid-demote or mid-mirror-write depending on the seed), extent-map
+// loss, and front-copy fail-stops.
+func runTier(seed int64, episodes, ops int, verbose, failFast bool) int {
+	var violations []string
+	var t struct {
+		survived, violated, crashed  int
+		promotes, demotes, frontHits uint64
+		mapRecovered, copyFailed     int
+	}
+	for i := 0; i < episodes; i++ {
+		epSeed := seed + int64(i)
+		cfg := tierSchedule(epSeed)
+		cfg.Ops = ops
+		res, err := tier.RunChaosEpisode(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afraidchaos: tier episode seed=%d: %v\n", epSeed, err)
+			return 2
+		}
+		if len(res.Violations) > 0 {
+			t.violated++
+		} else {
+			t.survived++
+		}
+		if res.Crashed {
+			t.crashed++
+		}
+		if res.MapRecovered {
+			t.mapRecovered++
+		}
+		if res.FrontCopyFailed {
+			t.copyFailed++
+		}
+		t.promotes += res.Promotes
+		t.demotes += res.Demotes
+		t.frontHits += res.FrontHits
+		if verbose || len(res.Violations) > 0 {
+			fmt.Printf("seed=%-6d tier acked=%d failed=%d promotes=%d demotes=%d hits=%d crash=%v maploss=%v copyfail=%v\n",
+				epSeed, res.AckedWrites, res.FailedWrites, res.Promotes, res.Demotes,
+				res.FrontHits, res.Crashed, res.MapRecovered, res.FrontCopyFailed)
+		}
+		for _, v := range res.Violations {
+			violations = append(violations,
+				fmt.Sprintf("seed=%d: %s\n  repro: afraidchaos -tier -seed %d -episodes 1", epSeed, v, epSeed))
+		}
+		if failFast && len(violations) > 0 {
+			break
+		}
+	}
+	fmt.Printf("\ntier: %d episodes, %d survived, %d violated, %d crashed, %d map-loss recoveries, %d copy fail-stops\n",
+		episodes, t.survived, t.violated, t.crashed, t.mapRecovered, t.copyFailed)
+	fmt.Printf("tier: %d promotes, %d demotes, %d front hits\n", t.promotes, t.demotes, t.frontHits)
+	if len(violations) > 0 {
+		fmt.Printf("\n%d VIOLATION(S):\n", len(violations))
+		for _, v := range violations {
+			fmt.Println(" ", v)
+		}
+		return 1
+	}
+	fmt.Println("\nno invariant violations")
+	return 0
+}
+
+// tierSchedule derives a tier episode's fault plan from its seed.
+func tierSchedule(epSeed int64) tier.ChaosConfig {
+	rng := rand.New(rand.NewSource(epSeed ^ 0x7ae5))
+	cfg := tier.ChaosConfig{Seed: epSeed}
+	cfg.PowerCut = rng.Float64() < 0.6
+	if cfg.PowerCut {
+		cfg.DropTierMap = rng.Float64() < 0.25
+	}
+	if !cfg.DropTierMap {
+		// Map loss plus a dead mirror copy is a double failure outside
+		// the contract; the harness would clamp it anyway.
+		cfg.FrontCopyFail = rng.Float64() < 0.3
+	}
+	if rng.Float64() < 0.3 {
+		cfg.FrontPairs = 2
+	}
+	return cfg
 }
 
 // schedule derives an episode's fault plan from its seed, independently

@@ -109,9 +109,9 @@ func runStatus(ctx context.Context, v *cluster.Volume, addrs []string, dialTO ti
 	fmt.Printf("  drains=%d degraded_reads=%d degraded_writes=%d healed=%d lost=%d failovers=%d high_water=%d\n",
 		st.Stats.ParityDrains, st.Stats.DegradedReads, st.Stats.DegradedWrites,
 		st.Stats.HealedStripes, st.Stats.LostStripes, st.Stats.NodeFailovers, st.Stats.DirtyHighWater)
-	fmt.Printf("%-4s %-22s %-8s %-10s %-10s %-14s %s\n", "NODE", "ADDR", "STATE", "STALE", "NODE-DIRTY", "NODE-CAPACITY", "CSUM(det/rep/lost)")
+	fmt.Printf("%-4s %-22s %-8s %-10s %-10s %-14s %-20s %s\n", "NODE", "ADDR", "STATE", "STALE", "NODE-DIRTY", "NODE-CAPACITY", "TIER(res/hits/mig)", "CSUM(det/rep/lost)")
 	for _, n := range st.Nodes {
-		nodeDirty, nodeCap, nodeCsum := "-", "-", "-"
+		nodeDirty, nodeCap, nodeTier, nodeCsum := "-", "-", "-", "-"
 		// Ask the daemon itself: its STAT carries its own array's
 		// dirty count and capacity (the afraid.node expvar's fields,
 		// over the block protocol so no metrics port is needed).
@@ -123,6 +123,12 @@ func runStatus(ctx context.Context, v *cluster.Volume, addrs []string, dialTO ti
 				if ds.ChecksumDetected > 0 {
 					nodeCsum = fmt.Sprintf("%d/%d/%d", ds.ChecksumDetected, ds.ChecksumRepaired, ds.ChecksumLost)
 				}
+				// A hybrid node (STAT v4) reports its front-tier
+				// occupancy: resident bytes, front hits, and migration
+				// traffic (promotes+demotes).
+				if ds.TierResidentBytes > 0 || ds.TierFrontHits > 0 || ds.TierPromotes > 0 {
+					nodeTier = fmt.Sprintf("%s/%d/%d", fmtSize(ds.TierResidentBytes), ds.TierFrontHits, ds.TierPromotes+ds.TierDemotes)
+				}
 			}
 			cancel()
 			c.Close()
@@ -131,7 +137,7 @@ func runStatus(ctx context.Context, v *cluster.Volume, addrs []string, dialTO ti
 		if n.LastErr != "" {
 			state += " (" + n.LastErr + ")"
 		}
-		fmt.Printf("%-4d %-22s %-8s %-10d %-10s %-14s %s\n", n.Index, n.Addr, state, n.StaleStripes, nodeDirty, nodeCap, nodeCsum)
+		fmt.Printf("%-4d %-22s %-8s %-10d %-10s %-14s %-20s %s\n", n.Index, n.Addr, state, n.StaleStripes, nodeDirty, nodeCap, nodeTier, nodeCsum)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	afraidd -listen :9323 -metrics 127.0.0.1:9324 -disks 5 -size 256M
 //	afraidd -dir /var/lib/afraid -mode afraid          # file-backed, crash-safe
 //	afraidd -mode raid5 -inflight 64 -timeout 10s      # always-redundant
+//	afraidd -tier-disks 2 -tier-size 64M               # hybrid: mirrored front tier
 //
 // With -dir the member disks and the NVRAM marking memory live in
 // files, so a restart resumes the parity rebuild exactly where the
@@ -31,8 +32,10 @@ import (
 	"time"
 
 	"afraid/internal/core"
+	"afraid/internal/idle"
 	"afraid/internal/obs"
 	"afraid/internal/server"
+	"afraid/internal/tier"
 )
 
 func main() {
@@ -46,6 +49,11 @@ func main() {
 	scrubIdle := flag.Duration("scrub-idle", 100*time.Millisecond, "idle threshold before parity rebuild")
 	dirtyThreshold := flag.Int("dirty-threshold", 0, "scrub under load past this many dirty stripes (0 = idle-only)")
 	checksums := flag.Bool("checksums", false, "per-block CRC32C: verify every read, repair silent corruption from redundancy")
+	tierDisks := flag.Int("tier-disks", 0, "mirrored front-tier devices (even, 0 disables the hybrid tier)")
+	tierSize := flag.String("tier-size", "64M", "per-device front-tier size")
+	tierExtent := flag.String("tier-extent", "64K", "front-tier migration extent size (power of two)")
+	tierMaxDirty := flag.String("tier-max-dirty", "0", "front-tier dirty-bytes pressure valve (0 = half the front capacity)")
+	tierIdle := flag.Duration("tier-idle", 50*time.Millisecond, "idle threshold before cold extents demote to the back tier")
 	workers := flag.Int("workers", 0, "request worker pool size (0 = 2×GOMAXPROCS)")
 	inflight := flag.Int("inflight", 0, "max in-flight requests before ERR_BUSY (0 = default 256)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 30s)")
@@ -85,7 +93,45 @@ func main() {
 	log.Printf("store: %d×%s %s, capacity %s, %d dirty stripes carried over",
 		*disks, *size, m, fmtSize(st.Capacity()), st.DirtyStripes())
 
-	srv := server.New(st, server.Options{
+	// Optional hybrid front tier: mirrored write-back staging over the
+	// parity store, à la HP AutoRAID.
+	var hybrid *tier.Store
+	backend := server.Backend(st)
+	if *tierDisks > 0 {
+		tSize, err := parseSize(*tierSize)
+		if err != nil {
+			log.Fatalf("-tier-size: %v", err)
+		}
+		tExtent, err := parseSize(*tierExtent)
+		if err != nil {
+			log.Fatalf("-tier-extent: %v", err)
+		}
+		tMaxDirty, err := parseSize(*tierMaxDirty)
+		if err != nil && *tierMaxDirty != "0" {
+			log.Fatalf("-tier-max-dirty: %v", err)
+		}
+		if *tierMaxDirty == "0" {
+			tMaxDirty = 0
+		}
+		front, tnv, err := openTierBacking(*dir, *tierDisks, tSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hybrid, err = tier.Open(st, front, tnv, tier.Options{
+			ExtentSize:    tExtent,
+			MaxDirtyBytes: tMaxDirty,
+			Idle:          idle.NewTimer(*tierIdle),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = hybrid
+		ts := hybrid.TierStats()
+		log.Printf("tier: %d×%s mirrored front, extent %s, %d extents recovered resident (%s dirty)",
+			*tierDisks, fmtSize(tSize), fmtSize(tExtent), ts.ResidentExtents, fmtSize(ts.DirtyBytes))
+	}
+
+	srv := server.New(backend, server.Options{
 		Workers:        *workers,
 		MaxInflight:    *inflight,
 		RequestTimeout: *timeout,
@@ -118,6 +164,34 @@ func main() {
 				"quarantined":       len(st.QuarantinedStripes()),
 			}
 		}))
+		if hybrid != nil {
+			// Hybrid occupancy: what lives in the front tier, how the
+			// migration engine is keeping up, and the hit ratio the
+			// whole design exists to earn.
+			expvar.Publish("afraid.tier", expvar.Func(func() any {
+				ts := hybrid.TierStats()
+				return map[string]any{
+					"front_read_hits":   ts.FrontReadHits,
+					"front_read_misses": ts.FrontReadMisses,
+					"front_write_hits":  ts.FrontWriteHits,
+					"front_hit_ratio":   ts.FrontHitRatio(),
+					"promotes":          ts.Promotes,
+					"demotes":           ts.Demotes,
+					"evictions":         ts.Evictions,
+					"promoted_bytes":    ts.PromotedBytes,
+					"demoted_bytes":     ts.DemotedBytes,
+					"write_arounds":     ts.WriteArounds,
+					"resident_extents":  ts.ResidentExtents,
+					"resident_bytes":    ts.ResidentBytes,
+					"dirty_extents":     ts.DirtyExtents,
+					"dirty_bytes":       ts.DirtyBytes,
+					"mirror_failovers":  ts.MirrorFailovers,
+					"degraded_writes":   ts.DegradedWrites,
+					"resilvered":        ts.Resilvered,
+					"map_recovered":     ts.MapRecovered,
+				}
+			}))
+		}
 		// Node identity card for cluster tooling: when this daemon is one
 		// member of an internal/cluster volume, afraidctl and monitoring
 		// scrape these fields under the stable "afraid.node" key to line
@@ -142,6 +216,9 @@ func main() {
 		sections := []obs.Section{
 			{Name: "server", Reg: srv.Metrics().Obs()},
 			{Name: "core", Reg: st.Obs()},
+		}
+		if hybrid != nil {
+			sections = append(sections, obs.Section{Name: "tier", Reg: hybrid.Obs()})
 		}
 		mux.Handle("/debug/histograms", obs.HistogramHandler(sections...))
 		mux.Handle("/debug/trace", obs.TraceHandler(sections...))
@@ -176,8 +253,16 @@ func main() {
 	}
 	// Drained: make the array fully redundant before exit so the next
 	// start carries over no dirty stripes (file-backed NVRAM would
-	// resume them anyway; this is the clean-shutdown parity point).
-	if err := st.Flush(); err != nil {
+	// resume them anyway; this is the clean-shutdown parity point). With
+	// a hybrid tier the flush also demotes every dirty front extent.
+	if hybrid != nil {
+		if err := hybrid.Flush(); err != nil {
+			log.Printf("final tier flush: %v", err)
+		}
+		if err := hybrid.Close(); err != nil {
+			log.Printf("tier close: %v", err)
+		}
+	} else if err := st.Flush(); err != nil {
 		log.Printf("final flush: %v", err)
 	}
 	if err := st.Close(); err != nil {
@@ -255,4 +340,24 @@ func openBacking(dir string, disks int, size int64) ([]core.BlockDevice, core.NV
 		devs[i] = d
 	}
 	return devs, core.NewFileNVRAM(filepath.Join(dir, "nvram.bin")), nil
+}
+
+// openTierBacking builds the front-tier mirror devices and the extent
+// map's marking memory, file-backed under dir when set.
+func openTierBacking(dir string, disks int, size int64) ([]core.BlockDevice, core.NVRAM, error) {
+	devs := make([]core.BlockDevice, disks)
+	if dir == "" {
+		for i := range devs {
+			devs[i] = core.NewMemDevice(size)
+		}
+		return devs, &core.MemNVRAM{}, nil
+	}
+	for i := range devs {
+		d, err := core.OpenFileDevice(filepath.Join(dir, fmt.Sprintf("tier%d.img", i)), size)
+		if err != nil {
+			return nil, nil, err
+		}
+		devs[i] = d
+	}
+	return devs, core.NewFileNVRAM(filepath.Join(dir, "tier-map.bin")), nil
 }

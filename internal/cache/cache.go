@@ -4,6 +4,14 @@
 // simulator only block *presence* matters (hits avoid pre-reads in the
 // RAID 5 read-modify-write path), so the cache tracks membership, not
 // contents.
+//
+// SIMULATION ONLY. This package exists to reproduce the paper's
+// measured configuration inside internal/array and internal/exp; it
+// holds no data and never sits in a real I/O path. The functional
+// store's write-absorbing layer is internal/tier — a mirrored
+// write-back front tier with persisted residency and real
+// crash-recovery semantics — which supersedes any notion of write
+// staging this package might suggest.
 package cache
 
 import (
@@ -135,9 +143,6 @@ func NewController(cfg Config) *Controller {
 	}
 }
 
-// BlockSize returns the cache granularity in bytes.
-func (c *Controller) BlockSize() int64 { return c.blockSize }
-
 // blockOf returns the block number containing addr.
 func (c *Controller) blockOf(addr int64) int64 { return addr / c.blockSize }
 
@@ -201,6 +206,3 @@ func (c *Controller) OldDataCached(addr, length int64) bool {
 
 // ReadStats returns the read cache's (hits, misses).
 func (c *Controller) ReadStats() (uint64, uint64) { return c.read.Stats() }
-
-// WriteStats returns the write staging buffer's (hits, misses).
-func (c *Controller) WriteStats() (uint64, uint64) { return c.write.Stats() }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"afraid/internal/core"
@@ -242,6 +243,32 @@ func (d *Device) AddRule(r Rule) *Device {
 	d.rules = append(d.rules, &rc)
 	d.mu.Unlock()
 	return d
+}
+
+// Mirror arms one rule across the copies of a mirrored set so it fires
+// on exactly one of them — whichever copy's trigger trips first — and
+// is suppressed on the rest. Tier fault schedules use it to take out a
+// single copy of a front pair without hand-rolling per-device plans: a
+// mirrored tier that loses both copies at once has no contract left to
+// test. The shared budget is on top of the rule's own Max, which still
+// bounds repeat firings on the copy that won the race.
+func Mirror(r Rule, copies ...*Device) {
+	var winner atomic.Int32
+	winner.Store(-1)
+	for i, d := range copies {
+		i := int32(i)
+		rc := r
+		inner := r.When
+		rc.When = func(op Op, rng *rand.Rand) bool {
+			if inner != nil && !inner(op, rng) {
+				return false
+			}
+			// The first copy whose trigger trips claims the fault for
+			// the whole set; repeat firings stay on that copy.
+			return winner.CompareAndSwap(-1, i) || winner.Load() == i
+		}
+		d.AddRule(rc)
+	}
 }
 
 // Fail switches the device into fail-stop state. It implements

@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"afraid/internal/core"
+)
+
+// TestMirrorFiresOnExactlyOneCopy: a Mirror-scoped fail-stop takes out
+// one copy of the pair and leaves the other healthy, regardless of
+// which copy the workload touches first.
+func TestMirrorFiresOnExactlyOneCopy(t *testing.T) {
+	d0 := New(core.NewMemDevice(4096), 1)
+	d1 := New(core.NewMemDevice(4096), 2)
+	Mirror(Rule{When: After(2), Do: FailStop()}, d0, d1)
+
+	buf := make([]byte, 512)
+	// Interleave ops across both copies past the trigger point.
+	for i := 0; i < 4; i++ {
+		d0.WriteAt(buf, 0)
+		d1.WriteAt(buf, 0)
+	}
+	if d0.Failed() && d1.Failed() {
+		t.Fatal("Mirror let the fault take out both copies")
+	}
+	if !d0.Failed() && !d1.Failed() {
+		t.Fatal("Mirror suppressed the fault entirely")
+	}
+}
+
+// TestMirrorRepeatFiringsStayOnWinner: a recurring transient stays
+// pinned to the copy that claimed the fault.
+func TestMirrorRepeatFiringsStayOnWinner(t *testing.T) {
+	d0 := New(core.NewMemDevice(4096), 3)
+	d1 := New(core.NewMemDevice(4096), 4)
+	Mirror(Rule{Do: Transient(nil)}, d0, d1)
+
+	buf := make([]byte, 16)
+	_, err0 := d0.WriteAt(buf, 0) // d0 claims
+	if !errors.Is(err0, ErrInjected) {
+		t.Fatalf("first op on d0 should fire, got %v", err0)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d1.WriteAt(buf, 0); err != nil {
+			t.Fatalf("d1 must stay healthy once d0 claimed, got %v", err)
+		}
+		if _, err := d0.WriteAt(buf, 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("repeat firing left the winner, got %v", err)
+		}
+	}
+}

@@ -283,7 +283,8 @@ func ReadResponse(br *bufio.Reader, maxPayload uint32) (Response, error) {
 //	1: mode + capacity/dirty/reads/writes/bytes/scrubbed counters
 //	2: v1 + read/write latency percentiles (p50/p95/p99, ns)
 //	3: v2 + checksum counters (detected/repaired/lost)
-const StatVersion = 3
+//	4: v3 + hybrid-tier counters (front hits/promotes/demotes/resident bytes)
+const StatVersion = 4
 
 // Stat is the STAT payload: a snapshot of the served store.
 type Stat struct {
@@ -306,12 +307,21 @@ type Stat struct {
 	ChecksumDetected uint64
 	ChecksumRepaired uint64
 	ChecksumLost     uint64
+
+	// Hybrid-tier counters (STAT version >= 4; zero when the server
+	// speaks an older version or serves a bare store with no front
+	// tier).
+	TierFrontHits     uint64
+	TierPromotes      uint64
+	TierDemotes       uint64
+	TierResidentBytes int64
 }
 
 const (
 	statPayloadLenV1 = 1 + 1 + 7*8
 	statPayloadLenV2 = statPayloadLenV1 + 6*8
 	statPayloadLenV3 = statPayloadLenV2 + 3*8
+	statPayloadLenV4 = statPayloadLenV3 + 4*8
 )
 
 // statVersionFor clamps a client-advertised version to what this server
@@ -352,6 +362,13 @@ func appendStat(dst []byte, st *Stat, version uint8) []byte {
 			dst = binary.BigEndian.AppendUint64(dst, v)
 		}
 	}
+	if version >= 4 {
+		for _, v := range [...]uint64{
+			st.TierFrontHits, st.TierPromotes, st.TierDemotes, uint64(st.TierResidentBytes),
+		} {
+			dst = binary.BigEndian.AppendUint64(dst, v)
+		}
+	}
 	return dst
 }
 
@@ -370,6 +387,8 @@ func decodeStat(b []byte) (Stat, error) {
 		want = statPayloadLenV2
 	case 3:
 		want = statPayloadLenV3
+	case 4:
+		want = statPayloadLenV4
 	default:
 		return st, fmt.Errorf("server: unknown stat version %d", b[0])
 	}
@@ -397,6 +416,12 @@ func decodeStat(b []byte) (Stat, error) {
 		st.ChecksumDetected = u(13)
 		st.ChecksumRepaired = u(14)
 		st.ChecksumLost = u(15)
+	}
+	if b[0] >= 4 {
+		st.TierFrontHits = u(16)
+		st.TierPromotes = u(17)
+		st.TierDemotes = u(18)
+		st.TierResidentBytes = int64(u(19))
 	}
 	return st, nil
 }

@@ -375,6 +375,16 @@ func (s *Server) apply(ctx context.Context, r *Request) Response {
 			stat.ChecksumRepaired = st.ChecksumRepaired
 			stat.ChecksumLost = st.ChecksumLost
 		}
+		if ver >= 4 {
+			// Matched structurally so a hybrid backend (tier.Store)
+			// reports its counters without this package importing it; a
+			// bare store simply leaves the quartet zero.
+			if tc, ok := s.store.(interface {
+				TierCounters() (frontHits, promotes, demotes uint64, residentBytes int64)
+			}); ok {
+				stat.TierFrontHits, stat.TierPromotes, stat.TierDemotes, stat.TierResidentBytes = tc.TierCounters()
+			}
+		}
 		resp.Data = appendStat(nil, &stat, ver)
 	default:
 		resp.Status = StatusBadRequest

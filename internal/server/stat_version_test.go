@@ -2,10 +2,12 @@ package server
 
 import (
 	"context"
+	"net"
 	"testing"
 	"time"
 
 	"afraid/internal/core"
+	"afraid/internal/tier"
 )
 
 func TestStatV2RoundTrip(t *testing.T) {
@@ -92,6 +94,43 @@ func TestStatV3RoundTrip(t *testing.T) {
 	}
 }
 
+// TestStatV4RoundTrip: the tier counters survive a v4 encode/decode
+// cycle, and a v3 encoding of the same Stat drops them cleanly.
+func TestStatV4RoundTrip(t *testing.T) {
+	want := Stat{
+		Capacity: 128 << 20, Mode: 0, DirtyStripes: 2,
+		Reads: 31, Writes: 17, BytesRead: 1 << 19, BytesWritten: 1 << 18,
+		ScrubbedStripes: 3,
+		ReadP50:         2 * time.Microsecond,
+		WriteP99:        4 * time.Millisecond,
+		ChecksumLost:    1,
+		TierFrontHits:   420, TierPromotes: 33, TierDemotes: 21,
+		TierResidentBytes: 5 << 20,
+	}
+	b := appendStat(nil, &want, 4)
+	if len(b) != statPayloadLenV4 {
+		t.Fatalf("v4 payload %d bytes, want %d", len(b), statPayloadLenV4)
+	}
+	got, err := decodeStat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("v4 round trip: got %+v want %+v", got, want)
+	}
+
+	v3, err := decodeStat(appendStat(nil, &want, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.TierFrontHits != 0 || v3.TierPromotes != 0 || v3.TierDemotes != 0 || v3.TierResidentBytes != 0 {
+		t.Fatalf("v3 decode produced tier counters from nowhere: %+v", v3)
+	}
+	if v3.ChecksumLost != want.ChecksumLost || v3.ScrubbedStripes != want.ScrubbedStripes {
+		t.Fatalf("v3 base fields: got %+v", v3)
+	}
+}
+
 func TestStatVersionClamping(t *testing.T) {
 	cases := []struct {
 		advertised uint32
@@ -100,9 +139,10 @@ func TestStatVersionClamping(t *testing.T) {
 		{0, 1},  // pre-versioning client
 		{1, 1},  // explicit v1
 		{2, 2},  // explicit v2
-		{3, 3},  // current
-		{99, 3}, // future client against this server
-		{1 << 20, 3},
+		{3, 3},  // explicit v3
+		{4, 4},  // current
+		{99, 4}, // future client against this server
+		{1 << 20, 4},
 	}
 	for _, c := range cases {
 		if got := statVersionFor(c.advertised); got != c.want {
@@ -118,7 +158,7 @@ func TestStatVersionClamping(t *testing.T) {
 }
 
 func TestStatTruncatedPayloads(t *testing.T) {
-	for _, b := range [][]byte{nil, {2}, appendStat(nil, &Stat{}, 2)[:statPayloadLenV1], appendStat(nil, &Stat{}, 3)[:statPayloadLenV2], {7, 0}} {
+	for _, b := range [][]byte{nil, {2}, appendStat(nil, &Stat{}, 2)[:statPayloadLenV1], appendStat(nil, &Stat{}, 3)[:statPayloadLenV2], appendStat(nil, &Stat{}, 4)[:statPayloadLenV3], {7, 0}} {
 		if _, err := decodeStat(b); err == nil {
 			t.Errorf("decodeStat(%d bytes, version %v) accepted a bad payload", len(b), b)
 		}
@@ -186,5 +226,71 @@ func TestStatNegotiationOverWire(t *testing.T) {
 	}
 	if st.ReadP50 > st.ReadP99 || st.WriteP50 > st.WriteP99 {
 		t.Errorf("percentiles not ordered: %+v", st)
+	}
+	// Against a bare core store, the tier quartet must stay zero even
+	// at v4.
+	if st.TierFrontHits != 0 || st.TierPromotes != 0 || st.TierResidentBytes != 0 {
+		t.Errorf("bare store reported tier counters: %+v", st)
+	}
+}
+
+// TestStatTierCountersOverWire serves a hybrid tier.Store and checks
+// that a v4 STAT carries live tier counters end to end.
+func TestStatTierCountersOverWire(t *testing.T) {
+	devs := make([]core.BlockDevice, 4)
+	for i := range devs {
+		devs[i] = core.NewMemDevice(1 << 20)
+	}
+	back, err := core.Open(devs, &core.MemNVRAM{}, core.Options{StripeUnit: 8 << 10, DisableScrubber: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extentSize = 16 << 10
+	frontSize := int64(8 * (extentSize + 16))
+	front := []core.BlockDevice{core.NewMemDevice(frontSize), core.NewMemDevice(frontSize)}
+	hybrid, err := tier.Open(back, front, &core.MemNVRAM{}, tier.Options{ExtentSize: extentSize, DisableMigrator: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(hybrid, Options{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	defer func() {
+		srv.Close()
+		<-serveDone
+		hybrid.Close()
+		back.Close()
+	}()
+
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 4<<10)
+	for i := 0; i < 8; i++ {
+		if _, err := c.WriteAt(buf, int64(i)*int64(len(buf))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ReadAt(buf, int64(i)*int64(len(buf))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stat(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TierPromotes == 0 {
+		t.Fatalf("hybrid backend reported no promotes over the wire: %+v", st)
+	}
+	if st.TierFrontHits == 0 {
+		t.Fatalf("hybrid backend reported no front hits over the wire: %+v", st)
+	}
+	if st.TierResidentBytes == 0 {
+		t.Fatalf("hybrid backend reported no resident bytes over the wire: %+v", st)
 	}
 }

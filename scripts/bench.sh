@@ -17,8 +17,8 @@ echo "== kernel benchmarks (internal/parity)" >&2
 go test -run '^$' -bench 'XORKernel|GFKernel' -benchmem \
     -benchtime "$benchtime" ./internal/parity | tee -a "$tmp" >&2
 
-echo "== store benchmarks (flush drain, scrub, checksum verify)" >&2
-go test -run '^$' -bench 'FlushThroughput|StoreScrub|ChecksumVerify' -benchmem \
+echo "== store benchmarks (flush drain, scrub, checksum verify, tier)" >&2
+go test -run '^$' -bench 'FlushThroughput|StoreScrub|ChecksumVerify|TierSmallWrites' -benchmem \
     -benchtime "$benchtime" . | tee -a "$tmp" >&2
 
 # Fold the standard benchmark lines into JSON: each line is
