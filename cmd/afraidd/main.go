@@ -44,6 +44,7 @@ func main() {
 	disks := flag.Int("disks", 5, "member disks")
 	size := flag.String("size", "256M", "per-disk size (K/M/G suffixes)")
 	dir := flag.String("dir", "", "directory for file-backed disks and NVRAM (empty = in-memory)")
+	prealloc := flag.Bool("prealloc", false, "preallocate file-backed disk images at startup (fallocate)")
 	mode := flag.String("mode", "afraid", "redundancy mode: afraid, raid5, raid0, raid6, afraid6")
 	stripe := flag.String("stripe", "8K", "stripe unit size")
 	scrubIdle := flag.Duration("scrub-idle", 100*time.Millisecond, "idle threshold before parity rebuild")
@@ -76,7 +77,7 @@ func main() {
 		log.Fatalf("-stripe: %v", err)
 	}
 
-	devs, nv, err := openBacking(*dir, *disks, diskSize)
+	devs, nv, err := openBacking(*dir, *disks, diskSize, *prealloc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func main() {
 		if *tierMaxDirty == "0" {
 			tMaxDirty = 0
 		}
-		front, tnv, err := openTierBacking(*dir, *tierDisks, tSize)
+		front, tnv, err := openTierBacking(*dir, *tierDisks, tSize, *prealloc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -321,7 +322,7 @@ func fmtSize(n int64) string {
 
 // openBacking builds the member devices and NVRAM: files under dir when
 // set (durable across restarts), memory otherwise.
-func openBacking(dir string, disks int, size int64) ([]core.BlockDevice, core.NVRAM, error) {
+func openBacking(dir string, disks int, size int64, prealloc bool) ([]core.BlockDevice, core.NVRAM, error) {
 	devs := make([]core.BlockDevice, disks)
 	if dir == "" {
 		for i := range devs {
@@ -332,8 +333,9 @@ func openBacking(dir string, disks int, size int64) ([]core.BlockDevice, core.NV
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
+	fopts := core.FileDeviceOptions{Preallocate: prealloc}
 	for i := range devs {
-		d, err := core.OpenFileDevice(filepath.Join(dir, fmt.Sprintf("disk%d.img", i)), size)
+		d, err := core.OpenFileDeviceOpts(filepath.Join(dir, fmt.Sprintf("disk%d.img", i)), size, fopts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -344,7 +346,7 @@ func openBacking(dir string, disks int, size int64) ([]core.BlockDevice, core.NV
 
 // openTierBacking builds the front-tier mirror devices and the extent
 // map's marking memory, file-backed under dir when set.
-func openTierBacking(dir string, disks int, size int64) ([]core.BlockDevice, core.NVRAM, error) {
+func openTierBacking(dir string, disks int, size int64, prealloc bool) ([]core.BlockDevice, core.NVRAM, error) {
 	devs := make([]core.BlockDevice, disks)
 	if dir == "" {
 		for i := range devs {
@@ -352,8 +354,9 @@ func openTierBacking(dir string, disks int, size int64) ([]core.BlockDevice, cor
 		}
 		return devs, &core.MemNVRAM{}, nil
 	}
+	fopts := core.FileDeviceOptions{Preallocate: prealloc}
 	for i := range devs {
-		d, err := core.OpenFileDevice(filepath.Join(dir, fmt.Sprintf("tier%d.img", i)), size)
+		d, err := core.OpenFileDeviceOpts(filepath.Join(dir, fmt.Sprintf("tier%d.img", i)), size, fopts)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestIOPathAllocs pins the foreground I/O path's allocation behavior:
+// after warm-up, full-span reads and writes — with and without
+// checksums — run without heap allocation. The pooled pieces this
+// guards: span slices (SplitAppend + spanPool), checksum slot buffers
+// (slotPool), and unit scratch (bufpool). A regression in any of them
+// shows up here as a nonzero allocs/op long before it shows up as GC
+// pressure in a throughput benchmark.
+func TestIOPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds bookkeeping allocations")
+	}
+	for _, checksums := range []bool{false, true} {
+		name := "checksums=off"
+		if checksums {
+			name = "checksums=on"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, _ := openTest(t, Options{Mode: Raid0, DisableScrubber: true, Checksums: checksums})
+			defer s.Close()
+			span := s.Geometry().StripeDataBytes()
+			buf := make([]byte, span)
+			for i := 0; i < 16; i++ { // warm the pools
+				if _, err := s.WriteAt(buf, 0); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.ReadAt(buf, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			writes := testing.AllocsPerRun(100, func() {
+				if _, err := s.WriteAt(buf, 0); err != nil {
+					t.Fatal(err)
+				}
+			})
+			reads := testing.AllocsPerRun(100, func() {
+				if _, err := s.ReadAt(buf, 0); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if writes >= 1 || reads >= 1 {
+				t.Fatalf("steady-state I/O allocates (write %.1f, read %.1f allocs/op); pooled buffers regressed", writes, reads)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"sync"
 	"time"
 
 	"afraid/internal/bufpool"
@@ -34,6 +35,13 @@ import (
 
 // csumMagic tags a valid checksum slot ("AFC1").
 const csumMagic = 0x41464331
+
+// slotPool recycles the 8-byte slot buffers the hot paths hand to
+// device ReadAt/WriteAt. The interface call makes a stack-declared
+// slot escape, which costs one heap allocation per unit verified or
+// written — per-unit garbage that group scrubs and checksummed spans
+// generate by the thousand.
+var slotPool = sync.Pool{New: func() any { return new([layout.ChecksumSlotSize]byte) }}
 
 // castagnoliTable selects the CRC32C polynomial, for which hash/crc32
 // uses the SSE4.2/ARMv8 instruction when available.
@@ -86,7 +94,8 @@ func (s *Store) readSlot(i int, stripe int64, slot []byte) error {
 // putChecksum writes a fresh checksum slot for disk i's unit of stripe,
 // computed from the in-memory contents the caller just wrote.
 func (s *Store) putChecksum(i int, stripe int64, unit []byte) error {
-	var slot [layout.ChecksumSlotSize]byte
+	slot := slotPool.Get().(*[layout.ChecksumSlotSize]byte)
+	defer slotPool.Put(slot)
 	encodeSlot(slot[:], unit)
 	if _, err := s.devs[i].WriteAt(slot[:], s.geo.ChecksumOff(stripe)); err != nil {
 		return &DiskError{Disk: i, Op: "write", Err: err}
@@ -101,7 +110,8 @@ func (s *Store) putChecksumTo(dev BlockDevice, stripe int64, unit []byte) error 
 	if !s.opts.Checksums {
 		return nil
 	}
-	var slot [layout.ChecksumSlotSize]byte
+	slot := slotPool.Get().(*[layout.ChecksumSlotSize]byte)
+	defer slotPool.Put(slot)
 	encodeSlot(slot[:], unit)
 	if _, err := dev.WriteAt(slot[:], s.geo.ChecksumOff(stripe)); err != nil {
 		return fmt.Errorf("core: replacement checksum write: %w", err)
@@ -111,7 +121,8 @@ func (s *Store) putChecksumTo(dev BlockDevice, stripe int64, unit []byte) error 
 
 // verifyAgainstSlot checks unit contents against disk i's stored slot.
 func (s *Store) verifyAgainstSlot(i int, stripe int64, unit []byte) error {
-	var slot [layout.ChecksumSlotSize]byte
+	slot := slotPool.Get().(*[layout.ChecksumSlotSize]byte)
+	defer slotPool.Put(slot)
 	if err := s.readSlot(i, stripe, slot[:]); err != nil {
 		return err
 	}

@@ -104,9 +104,26 @@ type FileDevice struct {
 	size int64
 }
 
+// FileDeviceOptions configures OpenFileDeviceOpts.
+type FileDeviceOptions struct {
+	// Preallocate reserves the device's blocks at open time instead of
+	// leaving the image sparse. Without it, the first write to each
+	// filesystem block pays an allocation (and on a filling disk may
+	// fail with ENOSPC mid-workload); with it, the space is committed
+	// up front and steady-state writes never stall on the allocator.
+	// Uses fallocate where the platform and filesystem support it,
+	// falling back to zero-filling the file's unwritten tail.
+	Preallocate bool
+}
+
 // OpenFileDevice creates (or opens) path and ensures it is exactly size
 // bytes long.
 func OpenFileDevice(path string, size int64) (*FileDevice, error) {
+	return OpenFileDeviceOpts(path, size, FileDeviceOptions{})
+}
+
+// OpenFileDeviceOpts is OpenFileDevice with explicit options.
+func OpenFileDeviceOpts(path string, size int64, opts FileDeviceOptions) (*FileDevice, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("core: device size %d must be positive", size)
 	}
@@ -114,11 +131,47 @@ func OpenFileDevice(path string, size int64) (*FileDevice, error) {
 	if err != nil {
 		return nil, err
 	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	oldSize := st.Size()
 	if err := f.Truncate(size); err != nil {
 		f.Close()
 		return nil, err
 	}
+	if opts.Preallocate {
+		if err := preallocFile(f, oldSize, size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: preallocating %s: %w", path, err)
+		}
+	}
 	return &FileDevice{f: f, size: size}, nil
+}
+
+// zeroFill is the portable preallocation fallback: it materializes the
+// file's blocks from oldSize (the length before this open grew it) up
+// to size by writing zeros. Existing bytes are never touched, so
+// reopening a populated image is safe; a pre-existing sparse region
+// below oldSize stays sparse, which is the best a write-based fallback
+// can do.
+func zeroFill(f *os.File, oldSize, size int64) error {
+	if oldSize >= size {
+		return nil
+	}
+	buf := make([]byte, 1<<20)
+	for off := oldSize; off < size; {
+		n := int64(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := f.WriteAt(buf[:n], off); err != nil {
+			return err
+		}
+		off += n
+	}
+	return f.Sync()
 }
 
 // ReadAt implements io.ReaderAt.

@@ -1,0 +1,24 @@
+//go:build linux
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// preallocFile commits the whole image's blocks with fallocate, which
+// reserves space without writing (and without disturbing existing
+// data). Filesystems that don't support it (and tmpfs kernels built
+// without it) report ENOTSUP; then the zero-fill fallback materializes
+// the unwritten tail instead.
+func preallocFile(f *os.File, oldSize, size int64) error {
+	err := syscall.Fallocate(int(f.Fd()), 0, 0, size)
+	if err == nil {
+		return nil
+	}
+	if err == syscall.EOPNOTSUPP || err == syscall.ENOSYS {
+		return zeroFill(f, oldSize, size)
+	}
+	return err
+}

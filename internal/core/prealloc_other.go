@@ -1,0 +1,11 @@
+//go:build !linux
+
+package core
+
+import "os"
+
+// preallocFile on platforms without fallocate zero-fills the file's
+// unwritten tail, which forces the filesystem to commit real blocks.
+func preallocFile(f *os.File, oldSize, size int64) error {
+	return zeroFill(f, oldSize, size)
+}

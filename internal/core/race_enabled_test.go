@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation assertions: the race detector adds
+// bookkeeping allocations (notably around sync.Pool), so allocs/op
+// checks only hold in normal builds.
+const raceEnabled = true

@@ -219,7 +219,7 @@ func (s *Store) markStripe(stripe int64) error {
 		if c := s.marks.Count(); c > s.stats.DirtyHighWater {
 			s.stats.DirtyHighWater = c
 		}
-		err = s.persistMarks()
+		err = s.commitMarks()
 	}
 	s.meta.Unlock()
 	return err
@@ -384,7 +384,7 @@ func (s *Store) storeStripeImage6(stripe int64, sb *stripeBuf, dead []int, wasDi
 		s.meta.Lock()
 		s.marks.Unmark(stripe)
 		s.dropQuarantine(stripe)
-		err := s.persistMarks()
+		err := s.commitMarks()
 		s.meta.Unlock()
 		return err
 	}

@@ -237,7 +237,7 @@ func (s *Store) RepairDisk(i int, replacement BlockDevice) (DamageReport, error)
 	s.repDisk, s.repDev, s.repDone = -1, nil, nil
 	s.stats.DamagedStripes += uint64(len(report.Lost))
 	s.stats.DamageBytes += report.Bytes()
-	err := s.persistMarks()
+	err := s.commitMarks()
 	s.meta.Unlock()
 	for k := range s.locks {
 		s.locks[k].Unlock()

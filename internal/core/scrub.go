@@ -227,7 +227,7 @@ func (s *Store) scrubOne(forced bool, gen *uint64) (bool, error) {
 	if forced {
 		s.stats.ForcedScrubs++
 	}
-	err := s.persistMarks()
+	err := s.commitMarks()
 	s.meta.Unlock()
 	s.ob.scrubStripe.Observe(time.Since(start))
 	return true, err
@@ -533,7 +533,7 @@ func (s *Store) parityPointStripe(stripe int64) error {
 	s.meta.Lock()
 	s.marks.Unmark(stripe)
 	s.stats.ScrubbedStripes++
-	err = s.persistMarks()
+	err = s.commitMarks()
 	s.meta.Unlock()
 	return err
 }

@@ -142,6 +142,8 @@ type Stats struct {
 	ChecksumDetected uint64 // unit reads that failed checksum verification
 	ChecksumRepaired uint64 // corrupt units rewritten from redundancy
 	ChecksumLost     uint64 // detected corruptions beyond redundancy (reported loss)
+
+	NVRAMPersists uint64 // NVRAM writes issued (group commit batches markers)
 }
 
 // Store is the functional AFRAID array.
@@ -179,6 +181,16 @@ type Store struct {
 	repDev  BlockDevice
 	repDone *nvram.Bitmap
 
+	// Group-commit state for NVRAM persists (guarded by meta). A
+	// persist in flight releases meta, so concurrent markers pile
+	// their changes into the bitmap and the next leader's snapshot
+	// covers them all with one NVRAM write.
+	gcCond    *sync.Cond
+	gcRunning bool
+	gcSeq     uint64 // highest change generation made durable
+	gcDirty   uint64 // latest change generation applied to marks
+	gcErr     error  // outcome of the persist that reached gcSeq
+
 	locks [64]sync.Mutex // stripe lock pool (stripe % 64)
 
 	sbPool sync.Pool  // *stripeBuf arena (stripebuf.go)
@@ -189,6 +201,12 @@ type Store struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
+
+// spanPool recycles the span slices ReadContext/WriteContext split
+// I/Os into (SplitAppend reuses both the slice and each entry's
+// Extents backing), removing the per-call splitting garbage from the
+// foreground hot path.
+var spanPool = sync.Pool{New: func() any { return new([]layout.StripeSpan) }}
 
 // Open assembles a store over the devices, recovering the marking
 // memory from nv. A corrupt or mismatched NVRAM image triggers the
@@ -249,6 +267,7 @@ func Open(devs []BlockDevice, nv NVRAM, opts Options) (*Store, error) {
 		stop:       make(chan struct{}),
 		policy:     make([]StripePolicy, geo.Stripes()),
 	}
+	s.gcCond = sync.NewCond(&s.meta)
 	// I/O workers serve the per-disk unit reads fanned out by stripe
 	// rebuilds, degraded reads, and parity checks. Enough for every
 	// drain worker to have a whole stripe's reads in flight at once.
@@ -326,12 +345,50 @@ func (s *Store) recoverNVRAM() error {
 	return s.persistMarks()
 }
 
-// persistMarks stores the bitmap to NVRAM. Callers hold meta.
+// persistMarks stores the bitmap to NVRAM. Callers hold meta. Only
+// Open-time recovery uses it directly; every steady-state persist goes
+// through commitMarks so images always reach NVRAM in generation order.
 func (s *Store) persistMarks() error {
 	if s.nv == nil {
 		return nil
 	}
 	return s.nv.Store(s.marks.Serialize())
+}
+
+// commitMarks makes the caller's bitmap change durable via group
+// commit. The change (already applied to s.marks) is assigned a
+// generation; the call returns once a persist whose snapshot included
+// that generation has completed. One caller at a time leads — it
+// snapshots the bitmap, releases meta for the NVRAM write, and wakes
+// the others — so N concurrent markers cost ~1 NVRAM write instead of
+// N. The mark-before-write invariant is preserved: success means a
+// covering image reached NVRAM before the caller proceeds to its data
+// write. Callers hold meta; meta is released and reacquired inside.
+func (s *Store) commitMarks() error {
+	if s.nv == nil {
+		return nil
+	}
+	s.gcDirty++
+	want := s.gcDirty
+	for s.gcSeq < want {
+		if s.gcRunning {
+			s.gcCond.Wait()
+			continue
+		}
+		s.gcRunning = true
+		goal := s.gcDirty // snapshot covers every generation through goal
+		img := s.marks.Serialize()
+		s.meta.Unlock()
+		err := s.nv.Store(img)
+		s.meta.Lock()
+		s.gcRunning = false
+		s.gcSeq, s.gcErr = goal, err
+		s.stats.NVRAMPersists++
+		s.gcCond.Broadcast()
+	}
+	// gcErr is the outcome of the persist that reached (or passed) our
+	// generation; a later successful persist also covers our change.
+	return s.gcErr
 }
 
 // Close stops the scrubber and closes the devices. Dirty stripes stay
@@ -500,7 +557,9 @@ func (s *Store) ReadContext(ctx context.Context, p []byte, off int64) (int, erro
 	s.touch()
 	start := time.Now()
 	var lockWait, dev time.Duration
-	spans := s.geo.Split(off, int64(len(p)))
+	spp := spanPool.Get().(*[]layout.StripeSpan)
+	spans := s.geo.SplitAppend((*spp)[:0], off, int64(len(p)))
+	defer func() { *spp = spans; spanPool.Put(spp) }()
 	for _, sp := range spans {
 		if err := ctx.Err(); err != nil {
 			s.traceOp("READ", off, int64(len(p)), start, lockWait, dev, err)
@@ -643,7 +702,9 @@ func (s *Store) WriteContext(ctx context.Context, p []byte, off int64) (int, err
 	s.touch()
 	start := time.Now()
 	var lockWait, dev time.Duration
-	spans := s.geo.Split(off, int64(len(p)))
+	spp := spanPool.Get().(*[]layout.StripeSpan)
+	spans := s.geo.SplitAppend((*spp)[:0], off, int64(len(p)))
+	defer func() { *spp = spans; spanPool.Put(spp) }()
 	for _, sp := range spans {
 		if err := ctx.Err(); err != nil {
 			s.traceOp("WRITE", off, int64(len(p)), start, lockWait, dev, err)
@@ -905,7 +966,7 @@ func (s *Store) storeStripeImage(stripe int64, sb *stripeBuf, dead int, wasDirty
 		s.meta.Lock()
 		s.marks.Unmark(stripe)
 		s.dropQuarantine(stripe)
-		err := s.persistMarks()
+		err := s.commitMarks()
 		s.meta.Unlock()
 		if err != nil {
 			return err

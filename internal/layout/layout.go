@@ -289,13 +289,20 @@ func (s StripeSpan) Bytes() int64 {
 // Split decomposes the client byte range [off, off+length) into per-
 // stripe spans of per-unit extents, in ascending address order.
 func (g Geometry) Split(off, length int64) []StripeSpan {
+	return g.SplitAppend(nil, off, length)
+}
+
+// SplitAppend is Split writing into spans: the slice's capacity is
+// reused, and so is the Extents capacity of any recycled entries, so a
+// caller that pools its span slice splits I/Os with zero steady-state
+// allocation. Pass spans[:0] to reuse, nil for Split's behavior.
+func (g Geometry) SplitAppend(spans []StripeSpan, off, length int64) []StripeSpan {
 	if length < 0 {
 		panic(fmt.Sprintf("layout: negative length %d", length))
 	}
 	if off < 0 || off+length > g.Capacity() {
 		panic(fmt.Sprintf("layout: range [%d,%d) outside capacity %d", off, off+length, g.Capacity()))
 	}
-	var spans []StripeSpan
 	addr := off
 	remaining := length
 	for remaining > 0 {
@@ -314,10 +321,17 @@ func (g Geometry) Split(off, length int64) []StripeSpan {
 			Len:     n,
 			ArrOff:  addr,
 		}
-		if len(spans) > 0 && spans[len(spans)-1].Stripe == loc.Stripe {
-			last := &spans[len(spans)-1]
+		switch k := len(spans); {
+		case k > 0 && spans[k-1].Stripe == loc.Stripe:
+			last := &spans[k-1]
 			last.Extents = append(last.Extents, ext)
-		} else {
+		case cap(spans) > k:
+			// Recycled entry: keep its Extents backing array.
+			spans = spans[:k+1]
+			sp := &spans[k]
+			sp.Stripe = loc.Stripe
+			sp.Extents = append(sp.Extents[:0], ext)
+		default:
 			spans = append(spans, StripeSpan{Stripe: loc.Stripe, Extents: []Extent{ext}})
 		}
 		addr += n

@@ -1,0 +1,112 @@
+//go:build arm64 && !noasm
+
+package parity
+
+// NEON backend. Advanced SIMD is architecturally mandatory on AArch64,
+// so there is no feature probe: init unconditionally installs the
+// kernels (unless the noasm tag compiled this file out). The asm
+// processes 16-byte lanes over the n&^15 prefix; wrappers finish the
+// tail with the generic kernels, so any length/alignment is legal.
+
+//go:noescape
+func xorNEON(dst, src *byte, n int)
+
+//go:noescape
+func xorInto2NEON(dst, a, b *byte, n int)
+
+//go:noescape
+func xorInto3NEON(dst, a, b, c *byte, n int)
+
+//go:noescape
+func xorInto4NEON(dst, a, b, c, e *byte, n int)
+
+//go:noescape
+func gfMulXorNEON(dst, src *byte, n int, tab *[32]byte)
+
+//go:noescape
+func gfFoldPQNEON(p, q, src *byte, n int, tab *[32]byte)
+
+//go:noescape
+func gfMulUpdNEON(q, old, new *byte, n int, tab *[32]byte)
+
+func init() {
+	buildNibTables()
+	xorKernel = xorNEONWrap
+	xorInto2Kernel = xorInto2NEONWrap
+	xorInto3Kernel = xorInto3NEONWrap
+	xorInto4Kernel = xorInto4NEONWrap
+	gfMulXorKernel = gfMulXorNEONWrap
+	gfFoldPQKernel = gfFoldPQNEONWrap
+	gfMulUpdKernel = gfMulUpdNEONWrap
+	kernelName = "neon"
+}
+
+func xorNEONWrap(dst, src []byte) {
+	n := len(dst) &^ 15
+	if n != 0 {
+		xorNEON(&dst[0], &src[0], n)
+	}
+	if n != len(dst) {
+		xorGeneric(dst[n:], src[n:])
+	}
+}
+
+func xorInto2NEONWrap(dst, a, b []byte) {
+	n := len(dst) &^ 15
+	if n != 0 {
+		xorInto2NEON(&dst[0], &a[0], &b[0], n)
+	}
+	if n != len(dst) {
+		xorInto2Generic(dst[n:], a[n:], b[n:])
+	}
+}
+
+func xorInto3NEONWrap(dst, a, b, c []byte) {
+	n := len(dst) &^ 15
+	if n != 0 {
+		xorInto3NEON(&dst[0], &a[0], &b[0], &c[0], n)
+	}
+	if n != len(dst) {
+		xorInto3Generic(dst[n:], a[n:], b[n:], c[n:])
+	}
+}
+
+func xorInto4NEONWrap(dst, a, b, c, e []byte) {
+	n := len(dst) &^ 15
+	if n != 0 {
+		xorInto4NEON(&dst[0], &a[0], &b[0], &c[0], &e[0], n)
+	}
+	if n != len(dst) {
+		xorInto4Generic(dst[n:], a[n:], b[n:], c[n:], e[n:])
+	}
+}
+
+func gfMulXorNEONWrap(dst, src []byte, c byte) {
+	n := len(src) &^ 15
+	if n != 0 {
+		gfMulXorNEON(&dst[0], &src[0], n, &gfNib[c])
+	}
+	if n != len(src) {
+		gfMulXorGeneric(dst[n:], src[n:], c)
+	}
+}
+
+func gfFoldPQNEONWrap(p, q, src []byte, c byte) {
+	n := len(src) &^ 15
+	if n != 0 {
+		gfFoldPQNEON(&p[0], &q[0], &src[0], n, &gfNib[c])
+	}
+	if n != len(src) {
+		foldPQGeneric(p[n:], q[n:], src[n:], c)
+	}
+}
+
+func gfMulUpdNEONWrap(q, oldData, newData []byte, c byte) {
+	n := len(q) &^ 15
+	if n != 0 {
+		gfMulUpdNEON(&q[0], &oldData[0], &newData[0], n, &gfNib[c])
+	}
+	if n != len(q) {
+		mulUpdateGeneric(q[n:], oldData[n:], newData[n:], c)
+	}
+}

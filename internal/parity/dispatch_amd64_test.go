@@ -1,0 +1,17 @@
+//go:build amd64 && !noasm
+
+package parity
+
+import "testing"
+
+// The selected backend must agree with what the CPU reports: AVX2
+// hardware gets the asm kernels, anything older keeps the generic ones.
+func TestAMD64KernelMatchesCPUID(t *testing.T) {
+	want := "generic"
+	if hasAVX2() {
+		want = "avx2"
+	}
+	if k := Kernel(); k != want {
+		t.Fatalf("Kernel() = %q, want %q (hasAVX2=%v)", k, want, hasAVX2())
+	}
+}

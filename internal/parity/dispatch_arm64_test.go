@@ -1,0 +1,13 @@
+//go:build arm64 && !noasm
+
+package parity
+
+import "testing"
+
+// Advanced SIMD is architecturally mandatory on AArch64, so the NEON
+// backend must always be selected outside noasm builds.
+func TestARM64KernelIsNEON(t *testing.T) {
+	if k := Kernel(); k != "neon" {
+		t.Fatalf("Kernel() = %q on arm64, want neon", k)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build noasm
+
+package parity
+
+import "testing"
+
+// With the noasm tag the assembly and the arch init()s are compiled out,
+// so dispatch must report the portable backend on every platform.
+func TestNoasmForcesGenericKernel(t *testing.T) {
+	if k := Kernel(); k != "generic" {
+		t.Fatalf("Kernel() = %q under -tags noasm, want generic", k)
+	}
+}

@@ -92,9 +92,13 @@ func mulInto(dst, src []byte, c byte) {
 		return
 	}
 	if c == 1 {
-		XOR(dst, src)
+		xorKernel(dst, src)
 		return
 	}
+	gfMulXorKernel(dst, src, c)
+}
+
+func gfMulXorGeneric(dst, src []byte, c byte) {
 	row := &gfMulTab[c]
 	dst = dst[:len(src)] // hoist the bounds check out of the loop
 	for i, s := range src {
@@ -105,6 +109,10 @@ func mulInto(dst, src []byte, c byte) {
 // foldPQ accumulates one data block into both parities in a single pass
 // over src: p ^= src, q ^= c*src. The block is read once for both.
 func foldPQ(p, q, src []byte, c byte) {
+	gfFoldPQKernel(p, q, src, c)
+}
+
+func foldPQGeneric(p, q, src []byte, c byte) {
 	row := &gfMulTab[c]
 	p = p[:len(src)]
 	q = q[:len(src)]
@@ -222,6 +230,10 @@ func mulUpdate(q, oldData, newData []byte, c byte) {
 	if len(q) != len(oldData) || len(q) != len(newData) {
 		panic("parity: mulUpdate length mismatch")
 	}
+	gfMulUpdKernel(q, oldData, newData, c)
+}
+
+func mulUpdateGeneric(q, oldData, newData []byte, c byte) {
 	row := &gfMulTab[c]
 	oldData = oldData[:len(q)]
 	newData = newData[:len(q)]

@@ -1,0 +1,110 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 GF(2^8) kernels, split-nibble shuffle form. tab points at the
+// 32-byte gfNib row for the coefficient: bytes 0-15 are lo[i] = c*i,
+// bytes 16-31 are hi[i] = c*(i<<4). VBROADCASTI128 replicates each
+// 16-byte table into both ymm lanes so VPSHUFB (which shuffles within
+// 128-bit lanes) looks up 32 products per instruction:
+//
+//	c*x = lo[x & 0x0f] ^ hi[x >> 4]
+//
+// VPSRLW shifts 16-bit lanes, dragging neighbor bits into the high
+// nibble position; the 0x0f mask strips them. Entry points require
+// n > 0 and n % 32 == 0; wrappers handle tails generically.
+
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $32
+
+// func gfMulXorAVX2(dst, src *byte, n int, tab *[32]byte)
+// dst ^= c*src
+TEXT ·gfMulXorAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), DX
+	VBROADCASTI128 (DX), Y4
+	VBROADCASTI128 16(DX), Y5
+	VMOVDQU nibMask<>(SB), Y6
+	XORQ AX, AX
+
+loop32:
+	VMOVDQU (SI)(AX*1), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y1, Y1
+	VPAND   Y6, Y0, Y0
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (DI)(AX*1), Y2, Y2
+	VMOVDQU Y2, (DI)(AX*1)
+	ADDQ    $32, AX
+	SUBQ    $32, CX
+	JNZ     loop32
+	VZEROUPPER
+	RET
+
+// func gfFoldPQAVX2(p, q, src *byte, n int, tab *[32]byte)
+// p ^= src; q ^= c*src — one pass over src for both parities.
+TEXT ·gfFoldPQAVX2(SB), NOSPLIT, $0-40
+	MOVQ p+0(FP), DI
+	MOVQ q+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	MOVQ tab+32(FP), DX
+	VBROADCASTI128 (DX), Y4
+	VBROADCASTI128 16(DX), Y5
+	VMOVDQU nibMask<>(SB), Y6
+	XORQ AX, AX
+
+loop32:
+	VMOVDQU (SI)(AX*1), Y0
+	VPXOR   (DI)(AX*1), Y0, Y7
+	VMOVDQU Y7, (DI)(AX*1)
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y1, Y1
+	VPAND   Y6, Y0, Y0
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (BX)(AX*1), Y2, Y2
+	VMOVDQU Y2, (BX)(AX*1)
+	ADDQ    $32, AX
+	SUBQ    $32, CX
+	JNZ     loop32
+	VZEROUPPER
+	RET
+
+// func gfMulUpdAVX2(q, old, new *byte, n int, tab *[32]byte)
+// q ^= c*(old^new) — the delta never touches memory.
+TEXT ·gfMulUpdAVX2(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), DI
+	MOVQ old+8(FP), SI
+	MOVQ new+16(FP), R8
+	MOVQ n+24(FP), CX
+	MOVQ tab+32(FP), DX
+	VBROADCASTI128 (DX), Y4
+	VBROADCASTI128 16(DX), Y5
+	VMOVDQU nibMask<>(SB), Y6
+	XORQ AX, AX
+
+loop32:
+	VMOVDQU (SI)(AX*1), Y0
+	VPXOR   (R8)(AX*1), Y0, Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y1, Y1
+	VPAND   Y6, Y0, Y0
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (DI)(AX*1), Y2, Y2
+	VMOVDQU Y2, (DI)(AX*1)
+	ADDQ    $32, AX
+	SUBQ    $32, CX
+	JNZ     loop32
+	VZEROUPPER
+	RET

@@ -1,0 +1,98 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON GF(2^8) kernels, split-nibble shuffle form via TBL. tab points at
+// the 32-byte gfNib row for the coefficient (lo table then hi table);
+// both stay resident in V4/V5 for the whole call:
+//
+//	c*x = lo[x & 0x0f] ^ hi[x >> 4]
+//
+// USHR on byte lanes shifts in zeros, so only the low nibble needs the
+// 0x0f mask. Entry points require n > 0 and n % 16 == 0.
+
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $16
+
+// func gfMulXorNEON(dst, src *byte, n int, tab *[32]byte)
+// dst ^= c*src
+TEXT ·gfMulXorNEON(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD tab+24(FP), R3
+	VLD1 (R3), [V4.B16, V5.B16]
+	MOVD $nibMask<>(SB), R4
+	VLD1 (R4), [V6.B16]
+
+loop16:
+	VLD1.P 16(R1), [V0.B16]
+	VUSHR $4, V0.B16, V1.B16
+	VAND  V6.B16, V0.B16, V0.B16
+	VTBL  V0.B16, [V4.B16], V2.B16
+	VTBL  V1.B16, [V5.B16], V3.B16
+	VEOR  V3.B16, V2.B16, V2.B16
+	VLD1  (R0), [V7.B16]
+	VEOR  V7.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R0)
+	SUBS  $16, R2
+	BNE   loop16
+	RET
+
+// func gfFoldPQNEON(p, q, src *byte, n int, tab *[32]byte)
+// p ^= src; q ^= c*src — one pass over src for both parities.
+TEXT ·gfFoldPQNEON(SB), NOSPLIT, $0-40
+	MOVD p+0(FP), R0
+	MOVD q+8(FP), R1
+	MOVD src+16(FP), R2
+	MOVD n+24(FP), R3
+	MOVD tab+32(FP), R4
+	VLD1 (R4), [V4.B16, V5.B16]
+	MOVD $nibMask<>(SB), R5
+	VLD1 (R5), [V6.B16]
+
+loop16:
+	VLD1.P 16(R2), [V0.B16]
+	VLD1 (R0), [V7.B16]
+	VEOR V7.B16, V0.B16, V7.B16
+	VST1.P [V7.B16], 16(R0)
+	VUSHR $4, V0.B16, V1.B16
+	VAND  V6.B16, V0.B16, V0.B16
+	VTBL  V0.B16, [V4.B16], V2.B16
+	VTBL  V1.B16, [V5.B16], V3.B16
+	VEOR  V3.B16, V2.B16, V2.B16
+	VLD1  (R1), [V7.B16]
+	VEOR  V7.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R1)
+	SUBS  $16, R3
+	BNE   loop16
+	RET
+
+// func gfMulUpdNEON(q, old, new *byte, n int, tab *[32]byte)
+// q ^= c*(old^new) — the delta never touches memory.
+TEXT ·gfMulUpdNEON(SB), NOSPLIT, $0-40
+	MOVD q+0(FP), R0
+	MOVD old+8(FP), R1
+	MOVD new+16(FP), R2
+	MOVD n+24(FP), R3
+	MOVD tab+32(FP), R4
+	VLD1 (R4), [V4.B16, V5.B16]
+	MOVD $nibMask<>(SB), R5
+	VLD1 (R5), [V6.B16]
+
+loop16:
+	VLD1.P 16(R1), [V0.B16]
+	VLD1.P 16(R2), [V1.B16]
+	VEOR  V1.B16, V0.B16, V0.B16
+	VUSHR $4, V0.B16, V1.B16
+	VAND  V6.B16, V0.B16, V0.B16
+	VTBL  V0.B16, [V4.B16], V2.B16
+	VTBL  V1.B16, [V5.B16], V3.B16
+	VEOR  V3.B16, V2.B16, V2.B16
+	VLD1  (R0), [V7.B16]
+	VEOR  V7.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R0)
+	SUBS  $16, R3
+	BNE   loop16
+	RET

@@ -236,29 +236,39 @@ func TestHotKernelsAllocFree(t *testing.T) {
 }
 
 func FuzzXORInto(f *testing.F) {
-	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{9, 8, 7, 6, 5, 4, 3, 2, 1}, uint8(3))
-	f.Add([]byte{}, []byte{}, uint8(0))
-	f.Add(bytes.Repeat([]byte{0xaa}, 100), bytes.Repeat([]byte{0x55}, 100), uint8(5))
-	f.Fuzz(func(t *testing.T, dst, src []byte, k uint8) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{9, 8, 7, 6, 5, 4, 3, 2, 1}, uint8(3), uint8(0))
+	f.Add([]byte{}, []byte{}, uint8(0), uint8(0))
+	f.Add(bytes.Repeat([]byte{0xaa}, 100), bytes.Repeat([]byte{0x55}, 100), uint8(5), uint8(17))
+	f.Add(bytes.Repeat([]byte{0x1d}, 65), bytes.Repeat([]byte{0x80}, 65), uint8(4), uint8(31))
+	f.Fuzz(func(t *testing.T, dst, src []byte, k uint8, off uint8) {
 		if len(src) > len(dst) {
 			src = src[:len(dst)]
 		} else {
 			dst = dst[:len(src)]
 		}
+		// Place every operand at a fuzz-chosen offset inside its own
+		// backing array: each slice is a distinct allocation (no operand
+		// aliasing), and the dispatched kernels see unaligned bases.
+		place := func(b []byte, o int) []byte {
+			back := make([]byte, len(b)+64)
+			copy(back[o:], b)
+			return back[o : o+len(b) : o+len(b)]
+		}
 		// Derive k (bounded) sources from src by rotation so they differ.
 		srcs := make([][]byte, int(k%6))
 		for i := range srcs {
-			srcs[i] = make([]byte, len(src))
+			s := make([]byte, len(src))
 			for j := range src {
-				srcs[i][j] = src[(j+i)%max(len(src), 1)] ^ byte(i)
+				s[j] = src[(j+i)%max(len(src), 1)] ^ byte(i)
 			}
+			srcs[i] = place(s, (int(off)+i*7)%32)
 		}
 		want := append([]byte(nil), dst...)
-		got := append([]byte(nil), dst...)
+		got := place(dst, int(off)%32)
 		xorNaive(want, srcs...)
 		XORInto(got, srcs...)
 		if !bytes.Equal(got, want) {
-			t.Fatalf("XORInto(len=%d, k=%d) = %x, naive = %x", len(dst), len(srcs), got, want)
+			t.Fatalf("XORInto(len=%d, k=%d, off=%d) = %x, naive = %x", len(dst), len(srcs), int(off)%32, got, want)
 		}
 	})
 }

@@ -1,0 +1,41 @@
+//go:build (amd64 || arm64) && !noasm
+
+package parity
+
+// gfNib holds the split-nibble multiplication tables consumed by the
+// shuffle kernels (PSHUFB on amd64, TBL on arm64). For coefficient c,
+// gfNib[c][0:16] is lo[i] = c*i and gfNib[c][16:32] is hi[i] = c*(i<<4),
+// so c*x = lo[x&15] ^ hi[x>>4] — multiplication is linear over GF(2), so
+// the two nibble products XOR together. 8 KiB total, built once at init.
+var gfNib [256][32]byte
+
+// buildNibTables fills gfNib. It multiplies with a standalone shift-xor
+// routine instead of gfMulTab because package init order is file-name
+// sorted: the arch init()s (cpu_amd64.go / cpu_arm64.go) run before
+// gf256.go's table init.
+func buildNibTables() {
+	for c := 0; c < 256; c++ {
+		for i := 0; i < 16; i++ {
+			gfNib[c][i] = gfMulSlow(byte(c), byte(i))
+			gfNib[c][16+i] = gfMulSlow(byte(c), byte(i<<4))
+		}
+	}
+}
+
+// gfMulSlow is carry-less multiplication mod 0x11d, independent of the
+// log/antilog tables.
+func gfMulSlow(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		carry := a&0x80 != 0
+		a <<= 1
+		if carry {
+			a ^= 0x1d
+		}
+		b >>= 1
+	}
+	return p
+}

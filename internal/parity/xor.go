@@ -24,6 +24,10 @@ func XOR(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("parity: XOR length mismatch %d != %d", len(dst), len(src)))
 	}
+	xorKernel(dst, src)
+}
+
+func xorGeneric(dst, src []byte) {
 	n := len(dst)
 	i := 0
 	// Four uint64 lanes per iteration: the independent loads/xors
@@ -68,18 +72,18 @@ func XORInto(dst []byte, srcs ...[]byte) {
 	// four sources per pass — dst is touched ceil(k/4) times instead of
 	// k, which is still where the memory-traffic win lives.
 	for len(srcs) > 4 {
-		xorInto4(dst, srcs[0], srcs[1], srcs[2], srcs[3])
+		xorInto4Kernel(dst, srcs[0], srcs[1], srcs[2], srcs[3])
 		srcs = srcs[4:]
 	}
 	switch len(srcs) {
 	case 1:
-		XOR(dst, srcs[0])
+		xorKernel(dst, srcs[0])
 	case 2:
-		xorInto2(dst, srcs[0], srcs[1])
+		xorInto2Kernel(dst, srcs[0], srcs[1])
 	case 3:
-		xorInto3(dst, srcs[0], srcs[1], srcs[2])
+		xorInto3Kernel(dst, srcs[0], srcs[1], srcs[2])
 	case 4:
-		xorInto4(dst, srcs[0], srcs[1], srcs[2], srcs[3])
+		xorInto4Kernel(dst, srcs[0], srcs[1], srcs[2], srcs[3])
 	}
 }
 
@@ -87,7 +91,7 @@ func XORInto(dst []byte, srcs ...[]byte) {
 // per iteration, with capped per-iteration subslices so every bounds
 // check hoists out of the lane loads.
 
-func xorInto2(dst, a, b []byte) {
+func xorInto2Generic(dst, a, b []byte) {
 	n := len(dst)
 	i := 0
 	for ; i+4*wordSize <= n; i += 4 * wordSize {
@@ -115,7 +119,7 @@ func xorInto2(dst, a, b []byte) {
 	}
 }
 
-func xorInto3(dst, a, b, c []byte) {
+func xorInto3Generic(dst, a, b, c []byte) {
 	n := len(dst)
 	i := 0
 	for ; i+4*wordSize <= n; i += 4 * wordSize {
@@ -145,7 +149,7 @@ func xorInto3(dst, a, b, c []byte) {
 	}
 }
 
-func xorInto4(dst, a, b, c, e []byte) {
+func xorInto4Generic(dst, a, b, c, e []byte) {
 	n := len(dst)
 	i := 0
 	for ; i+4*wordSize <= n; i += 4 * wordSize {
@@ -210,23 +214,13 @@ func Reconstruct(dst, p []byte, survivors ...[]byte) {
 }
 
 // Update applies the RAID 5 read-modify-write parity delta in a single
-// pass: p ^= oldData ^ newData.
+// pass: p ^= oldData ^ newData. It is the two-source gather fold, so it
+// rides the same dispatched kernel as XORInto.
 func Update(p, oldData, newData []byte) {
 	if len(p) != len(oldData) || len(p) != len(newData) {
 		panic(fmt.Sprintf("parity: Update length mismatch %d/%d/%d", len(p), len(oldData), len(newData)))
 	}
-	n := len(p)
-	i := 0
-	for ; i+wordSize <= n; i += wordSize {
-		d := p[i : i+wordSize : i+wordSize]
-		v := binary.LittleEndian.Uint64(d) ^
-			binary.LittleEndian.Uint64(oldData[i:]) ^
-			binary.LittleEndian.Uint64(newData[i:])
-		binary.LittleEndian.PutUint64(d, v)
-	}
-	for ; i < n; i++ {
-		p[i] ^= oldData[i] ^ newData[i]
-	}
+	xorInto2Kernel(p, oldData, newData)
 }
 
 // Check reports whether p equals the XOR of blocks. It folds word-wise

@@ -1,0 +1,112 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 XOR fold/gather kernels. Every entry point requires n > 0 and
+// n % 32 == 0 (the Go wrappers mask the length and finish the tail with
+// the generic kernels). All loads/stores are unaligned forms, so the
+// callers owe no alignment. VZEROUPPER before every RET keeps the SSE
+// units out of the AVX transition penalty.
+
+// func xorAVX2(dst, src *byte, n int)
+TEXT ·xorAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+
+loop128:
+	CMPQ CX, $128
+	JB   loop32
+	VMOVDQU (SI)(AX*1), Y0
+	VMOVDQU 32(SI)(AX*1), Y1
+	VMOVDQU 64(SI)(AX*1), Y2
+	VMOVDQU 96(SI)(AX*1), Y3
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VPXOR   32(DI)(AX*1), Y1, Y1
+	VPXOR   64(DI)(AX*1), Y2, Y2
+	VPXOR   96(DI)(AX*1), Y3, Y3
+	VMOVDQU Y0, (DI)(AX*1)
+	VMOVDQU Y1, 32(DI)(AX*1)
+	VMOVDQU Y2, 64(DI)(AX*1)
+	VMOVDQU Y3, 96(DI)(AX*1)
+	ADDQ    $128, AX
+	SUBQ    $128, CX
+	JMP     loop128
+
+loop32:
+	CMPQ CX, $32
+	JB   done
+	VMOVDQU (SI)(AX*1), Y0
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	SUBQ    $32, CX
+	JMP     loop32
+
+done:
+	VZEROUPPER
+	RET
+
+// func xorInto2AVX2(dst, a, b *byte, n int)
+TEXT ·xorInto2AVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+
+loop32:
+	VMOVDQU (SI)(AX*1), Y0
+	VPXOR   (R8)(AX*1), Y0, Y0
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	SUBQ    $32, CX
+	JNZ     loop32
+	VZEROUPPER
+	RET
+
+// func xorInto3AVX2(dst, a, b, c *byte, n int)
+TEXT ·xorInto3AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ c+24(FP), R9
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+
+loop32:
+	VMOVDQU (SI)(AX*1), Y0
+	VPXOR   (R8)(AX*1), Y0, Y0
+	VPXOR   (R9)(AX*1), Y0, Y0
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	SUBQ    $32, CX
+	JNZ     loop32
+	VZEROUPPER
+	RET
+
+// func xorInto4AVX2(dst, a, b, c, e *byte, n int)
+TEXT ·xorInto4AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ c+24(FP), R9
+	MOVQ e+32(FP), R10
+	MOVQ n+40(FP), CX
+	XORQ AX, AX
+
+loop32:
+	VMOVDQU (SI)(AX*1), Y0
+	VPXOR   (R8)(AX*1), Y0, Y0
+	VPXOR   (R9)(AX*1), Y0, Y0
+	VPXOR   (R10)(AX*1), Y0, Y0
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	SUBQ    $32, CX
+	JNZ     loop32
+	VZEROUPPER
+	RET

@@ -1,0 +1,102 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON XOR fold/gather kernels. Entry points require n > 0 and
+// n % 16 == 0; wrappers finish tails with the generic kernels. VLD1/VST1
+// have no alignment requirement.
+
+// func xorNEON(dst, src *byte, n int)
+TEXT ·xorNEON(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+
+loop64:
+	CMP  $64, R2
+	BLT  loop16
+	VLD1 (R0), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VLD1.P 64(R1), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VEOR V4.B16, V0.B16, V0.B16
+	VEOR V5.B16, V1.B16, V1.B16
+	VEOR V6.B16, V2.B16, V2.B16
+	VEOR V7.B16, V3.B16, V3.B16
+	VST1.P [V0.B16, V1.B16, V2.B16, V3.B16], 64(R0)
+	SUB  $64, R2
+	CBNZ R2, loop64
+	RET
+
+loop16:
+	CBZ  R2, done
+	VLD1 (R0), [V1.B16]
+	VLD1.P 16(R1), [V0.B16]
+	VEOR V1.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R0)
+	SUB  $16, R2
+	B    loop16
+
+done:
+	RET
+
+// func xorInto2NEON(dst, a, b *byte, n int)
+TEXT ·xorInto2NEON(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD n+24(FP), R3
+
+loop16:
+	VLD1.P 16(R1), [V0.B16]
+	VLD1.P 16(R2), [V1.B16]
+	VLD1 (R0), [V2.B16]
+	VEOR V1.B16, V0.B16, V0.B16
+	VEOR V2.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R0)
+	SUBS $16, R3
+	BNE  loop16
+	RET
+
+// func xorInto3NEON(dst, a, b, c *byte, n int)
+TEXT ·xorInto3NEON(SB), NOSPLIT, $0-40
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD c+24(FP), R4
+	MOVD n+32(FP), R3
+
+loop16:
+	VLD1.P 16(R1), [V0.B16]
+	VLD1.P 16(R2), [V1.B16]
+	VLD1.P 16(R4), [V2.B16]
+	VLD1 (R0), [V3.B16]
+	VEOR V1.B16, V0.B16, V0.B16
+	VEOR V2.B16, V0.B16, V0.B16
+	VEOR V3.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R0)
+	SUBS $16, R3
+	BNE  loop16
+	RET
+
+// func xorInto4NEON(dst, a, b, c, e *byte, n int)
+TEXT ·xorInto4NEON(SB), NOSPLIT, $0-48
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD c+24(FP), R4
+	MOVD e+32(FP), R5
+	MOVD n+40(FP), R3
+
+loop16:
+	VLD1.P 16(R1), [V0.B16]
+	VLD1.P 16(R2), [V1.B16]
+	VLD1.P 16(R4), [V2.B16]
+	VLD1.P 16(R5), [V3.B16]
+	VLD1 (R0), [V4.B16]
+	VEOR V1.B16, V0.B16, V0.B16
+	VEOR V2.B16, V0.B16, V0.B16
+	VEOR V3.B16, V0.B16, V0.B16
+	VEOR V4.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R0)
+	SUBS $16, R3
+	BNE  loop16
+	RET

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"afraid/internal/bufpool"
 	"afraid/internal/core"
 )
 
@@ -49,6 +51,13 @@ type Client struct {
 
 	wmu    sync.Mutex // serializes frame writes
 	encBuf []byte
+
+	// chPool recycles completion channels across requests. A channel is
+	// recycled only after its response was received (wait's success
+	// path): a channel abandoned by context cancellation may still get a
+	// late buffered response from the read loop, so reusing it would
+	// deliver a stale completion to a new request.
+	chPool sync.Pool
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -145,7 +154,7 @@ func (c *Client) Close() error {
 // readLoop dispatches responses to waiting calls by request ID.
 func (c *Client) readLoop() {
 	for {
-		resp, err := ReadResponse(c.br, c.maxPayload)
+		resp, err := c.readResponse()
 		if err != nil {
 			c.fail(err)
 			return
@@ -155,9 +164,42 @@ func (c *Client) readLoop() {
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- resp // buffered; frame body is freshly allocated, safe to hand off
+			ch <- resp // buffered; body is this request's own pooled frame
+		} else {
+			resp.release() // request was forgotten; recycle the frame now
 		}
 	}
+}
+
+// readResponse reads one response frame into a pooled buffer instead of
+// allocating per frame (ReadResponse's behavior); the waiter that
+// consumes the response returns the buffer via release. This is what
+// makes the windowed ReadAt/WriteAt chunk loops allocation-free in
+// steady state.
+func (c *Client) readResponse() (Response, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(c.br, pfx[:]); err != nil {
+		return Response{}, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n > c.maxPayload+uint32(reqHeaderLen)+uint32(respHeaderLen) {
+		return Response{}, fmt.Errorf("%w: body %d bytes", ErrFrameTooLarge, n)
+	}
+	body := bufpool.Get(int(n))
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		bufpool.Put(body)
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Response{}, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
+		}
+		return Response{}, err
+	}
+	resp, err := DecodeResponse(body, c.maxPayload)
+	if err != nil {
+		bufpool.Put(body)
+		return Response{}, err
+	}
+	resp.frame = body
+	return resp, nil
 }
 
 // fail records the terminal error and releases every waiter. From here
@@ -183,11 +225,18 @@ func (c *Client) Err() error {
 	return c.err
 }
 
+func (c *Client) getCh() chan Response {
+	if v := c.chPool.Get(); v != nil {
+		return v.(chan Response)
+	}
+	return make(chan Response, 1)
+}
+
 // start registers a fresh request ID, sends the frame, and returns the
 // channel the read loop will complete it on. Callers pipeline by
 // starting several requests before waiting on any.
 func (c *Client) start(req *Request) (uint64, chan Response, error) {
-	ch := make(chan Response, 1)
+	ch := c.getCh()
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -211,11 +260,19 @@ func (c *Client) start(req *Request) (uint64, chan Response, error) {
 	return id, ch, nil
 }
 
-// wait blocks for the completion of a started request.
+// wait blocks for the completion of a started request. On the response
+// path the (now drained) channel is recycled for future requests; on
+// the cancellation paths it is abandoned, since the read loop may still
+// complete it.
 func (c *Client) wait(ctx context.Context, id uint64, ch chan Response) (Response, error) {
 	select {
 	case resp := <-ch:
-		return resp, statusErr(resp)
+		c.chPool.Put(ch)
+		err := statusErr(resp)
+		if err != nil {
+			resp.release() // Data already captured in the error string
+		}
+		return resp, err
 	case <-ctx.Done():
 		c.forget(id)
 		return Response{}, ctx.Err()
@@ -290,18 +347,22 @@ type chunkCall struct {
 // large split read promptly instead of pushing the rest of the window
 // at a server that may be stalled.
 func (c *Client) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
-	var inflight []chunkCall
+	// The window is a fixed ring rather than an appended-to slice so a
+	// steady stream of split reads keeps zero per-call window state on
+	// the heap.
+	var win [pipelineWindow]chunkCall
+	head, count := 0, 0
 	defer func() {
-		for _, cc := range inflight {
-			c.forget(cc.id)
+		for i := 0; i < count; i++ {
+			c.forget(win[(head+i)%pipelineWindow].id)
 		}
 	}()
 	n, sent := 0, 0
-	for sent < len(p) || len(inflight) > 0 {
+	for sent < len(p) || count > 0 {
 		if err := ctx.Err(); err != nil {
 			return n, err
 		}
-		if sent < len(p) && len(inflight) < pipelineWindow {
+		if sent < len(p) && count < pipelineWindow {
 			chunk := len(p) - sent
 			if chunk > int(c.maxPayload) {
 				chunk = int(c.maxPayload)
@@ -310,20 +371,23 @@ func (c *Client) ReadAtContext(ctx context.Context, p []byte, off int64) (int, e
 			if err != nil {
 				return n, err
 			}
-			inflight = append(inflight, chunkCall{off: sent, size: chunk, id: id, ch: ch})
+			win[(head+count)%pipelineWindow] = chunkCall{off: sent, size: chunk, id: id, ch: ch}
+			count++
 			sent += chunk
 			continue
 		}
-		cc := inflight[0]
-		inflight = inflight[1:]
+		cc := win[head]
+		head, count = (head+1)%pipelineWindow, count-1
 		resp, err := c.wait(ctx, cc.id, cc.ch)
 		if err != nil {
 			return n, err
 		}
 		if len(resp.Data) != cc.size {
+			resp.release()
 			return n, fmt.Errorf("server: READ returned %d bytes, want %d", len(resp.Data), cc.size)
 		}
 		copy(p[cc.off:], resp.Data)
+		resp.release()
 		n += cc.size
 	}
 	return n, nil
@@ -342,18 +406,19 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 // checked before every chunk issue as well as while waiting, so a
 // cluster-level timeout abandons the remaining chunks promptly.
 func (c *Client) WriteAtContext(ctx context.Context, p []byte, off int64) (int, error) {
-	var inflight []chunkCall
+	var win [pipelineWindow]chunkCall
+	head, count := 0, 0
 	defer func() {
-		for _, cc := range inflight {
-			c.forget(cc.id)
+		for i := 0; i < count; i++ {
+			c.forget(win[(head+i)%pipelineWindow].id)
 		}
 	}()
 	n, sent := 0, 0
-	for sent < len(p) || len(inflight) > 0 {
+	for sent < len(p) || count > 0 {
 		if err := ctx.Err(); err != nil {
 			return n, err
 		}
-		if sent < len(p) && len(inflight) < pipelineWindow {
+		if sent < len(p) && count < pipelineWindow {
 			chunk := len(p) - sent
 			if chunk > int(c.maxPayload) {
 				chunk = int(c.maxPayload)
@@ -362,15 +427,18 @@ func (c *Client) WriteAtContext(ctx context.Context, p []byte, off int64) (int, 
 			if err != nil {
 				return n, err
 			}
-			inflight = append(inflight, chunkCall{off: sent, size: chunk, id: id, ch: ch})
+			win[(head+count)%pipelineWindow] = chunkCall{off: sent, size: chunk, id: id, ch: ch}
+			count++
 			sent += chunk
 			continue
 		}
-		cc := inflight[0]
-		inflight = inflight[1:]
-		if _, err := c.wait(ctx, cc.id, cc.ch); err != nil {
+		cc := win[head]
+		head, count = (head+1)%pipelineWindow, count-1
+		resp, err := c.wait(ctx, cc.id, cc.ch)
+		if err != nil {
 			return n, err
 		}
+		resp.release()
 		n += cc.size
 	}
 	return n, nil
@@ -378,7 +446,8 @@ func (c *Client) WriteAtContext(ctx context.Context, p []byte, off int64) (int, 
 
 // Flush asks the server to make the whole array redundant.
 func (c *Client) Flush(ctx context.Context) error {
-	_, err := c.do(ctx, &Request{Op: OpFlush})
+	resp, err := c.do(ctx, &Request{Op: OpFlush})
+	resp.release()
 	return err
 }
 
@@ -388,7 +457,8 @@ func (c *Client) Scrub(ctx context.Context, off, length int64) error {
 	if length < 0 || length > int64(^uint32(0)) {
 		return fmt.Errorf("%w: scrub length %d does not fit the wire's u32", ErrBadRequest, length)
 	}
-	_, err := c.do(ctx, &Request{Op: OpScrub, Off: off, Length: uint32(length)})
+	resp, err := c.do(ctx, &Request{Op: OpScrub, Off: off, Length: uint32(length)})
+	resp.release()
 	return err
 }
 
@@ -398,7 +468,8 @@ func (c *Client) Scrub(ctx context.Context, off, length int64) error {
 // can probe node liveness on a tight deadline without waiting out a
 // full request timeout on a real transfer.
 func (c *Client) Ping(ctx context.Context) error {
-	_, err := c.do(ctx, &Request{Op: OpStat})
+	resp, err := c.do(ctx, &Request{Op: OpStat})
+	resp.release()
 	return err
 }
 
@@ -411,7 +482,9 @@ func (c *Client) Stat(ctx context.Context) (Stat, error) {
 	if err != nil {
 		return Stat{}, err
 	}
-	return decodeStat(resp.Data)
+	st, err := decodeStat(resp.Data)
+	resp.release()
+	return st, err
 }
 
 // ModeString names the served store's redundancy mode.

@@ -14,6 +14,8 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"afraid/internal/bufpool"
 )
 
 // Handshake: the client opens with Magic; the server answers with
@@ -155,6 +157,20 @@ type Response struct {
 	// returns it after the frame is serialized. Set only for OpRead
 	// responses, which are never shared between frame IDs.
 	pooled bool
+
+	// frame, when non-nil, is the pooled buffer backing Data (set by the
+	// client's read loop, which reads response frames into bufpool
+	// buffers instead of allocating per frame). release returns it.
+	frame []byte
+}
+
+// release returns the response's pooled frame buffer, if any, to the
+// pool. The caller must be done with Data, which aliases the frame.
+func (r *Response) release() {
+	if r.frame != nil {
+		bufpool.Put(r.frame)
+		r.frame, r.Data = nil, nil
+	}
 }
 
 // AppendRequest appends the framed request (length prefix included) to
@@ -244,6 +260,16 @@ func AppendResponse(dst []byte, r *Response) []byte {
 	dst = append(dst, byte(r.Op), byte(r.Status))
 	dst = binary.BigEndian.AppendUint64(dst, r.ID)
 	return append(dst, r.Data...)
+}
+
+// appendResponseHeader appends the frame length prefix and fixed
+// response header for r — declaring, but not appending, r.Data, which
+// the caller sends as its own scatter-gather vector element.
+func appendResponseHeader(dst []byte, r *Response) []byte {
+	body := respHeaderLen + len(r.Data)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, byte(r.Op), byte(r.Status))
+	return binary.BigEndian.AppendUint64(dst, r.ID)
 }
 
 // DecodeResponse parses a response body (the bytes after the length

@@ -565,42 +565,115 @@ func (c *conn) coalesce(t *task) {
 	}
 }
 
-// writeLoop streams responses, flushing whenever the queue goes empty.
-// Every socket write carries a deadline: if the client stops reading,
-// the write times out and the connection is torn down rather than
-// blocking workers behind the full response queue.
+// wireSeg is one vector element of a response batch: either a range of
+// the batch's header arena (frame headers and inline payloads) or a
+// direct reference to a pooled read payload that travels to the socket
+// without being recopied. Arena segments are stored as offsets, not
+// slices, because the arena may be reallocated by later appends; the
+// slices are materialized only when the batch is sealed.
+type wireSeg struct {
+	start, end int    // arena range; meaningful when data == nil
+	data       []byte // pooled payload, written zero-copy
+}
+
+// maxResponseBatch bounds the vector elements gathered into one writev
+// batch, keeping the arena finite when the queue never goes empty.
+const maxResponseBatch = 256
+
+// maxBatchBytes bounds the payload bytes gathered into one writev
+// batch. Beyond coalescing efficiency this bounds what one write
+// deadline covers: a multi-megabyte batch can be absorbed whole by
+// kernel buffer autotuning, letting a stalled reader soak up responses
+// that a sequence of bounded writes would have turned into a timeout.
+// One response larger than the cap still travels as a single batch.
+const maxBatchBytes = 64 << 10
+
+// writeLoop streams responses, gathering everything already queued into
+// one scatter-gather socket write (writev on TCP): frame headers and
+// small payloads are serialized into a reusable arena, while pooled READ
+// payloads are passed to net.Buffers as their own vector elements — the
+// hot read path never copies payload bytes into a frame buffer. Each
+// batch write carries a deadline: if the client stops reading, the write
+// times out and the connection is torn down rather than blocking workers
+// behind the full response queue.
 func (c *conn) writeLoop() {
 	defer close(c.done)
-	bw := bufio.NewWriterSize(deadlineWriter{c.nc, c.srv.opts.WriteTimeout}, 64<<10)
-	var buf []byte
+	timeout := c.srv.opts.WriteTimeout
+	var (
+		arena      []byte
+		segs       []wireSeg
+		vecs       net.Buffers
+		pooled     [][]byte
+		batchBytes int
+	)
+	add := func(resp *Response) {
+		batchBytes += respHeaderLen + 4 + len(resp.Data)
+		if resp.pooled && len(resp.Data) > 0 {
+			start := len(arena)
+			arena = appendResponseHeader(arena, resp)
+			segs = append(segs, wireSeg{start: start, end: len(arena)}, wireSeg{data: resp.Data})
+			pooled = append(pooled, resp.Data)
+			return
+		}
+		start := len(arena)
+		arena = AppendResponse(arena, resp)
+		if resp.pooled {
+			bufpool.Put(resp.Data) // empty payload; serialized inline
+		}
+		if n := len(segs); n > 0 && segs[n-1].data == nil && segs[n-1].end == start {
+			segs[n-1].end = len(arena) // coalesce adjacent arena segments
+		} else {
+			segs = append(segs, wireSeg{start: start, end: len(arena)})
+		}
+	}
+	// flush seals and writes the batch. net.Buffers.WriteTo consumes the
+	// vector and must see the connection itself (not a wrapper) to take
+	// the writev path, so the deadline is armed on the conn directly.
+	flush := func() bool {
+		vecs = vecs[:0]
+		for _, sg := range segs {
+			if sg.data != nil {
+				vecs = append(vecs, sg.data)
+			} else {
+				vecs = append(vecs, arena[sg.start:sg.end])
+			}
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(timeout))
+		_, err := vecs.WriteTo(c.nc)
+		for _, b := range pooled {
+			bufpool.Put(b) // on the wire (or the conn is dead); done with it
+		}
+		arena, segs, pooled, batchBytes = arena[:0], segs[:0], pooled[:0], 0
+		if err != nil {
+			c.nc.Close() // unblock the reader
+			return false
+		}
+		return true
+	}
 	for resp := range c.out {
 		for {
-			buf = AppendResponse(buf[:0], &resp)
-			if resp.pooled {
-				bufpool.Put(resp.Data) // serialized into buf; done with it
-			}
-			if _, err := bw.Write(buf); err != nil {
-				c.nc.Close() // unblock the reader
-				return
+			add(&resp)
+			if len(segs) >= maxResponseBatch || batchBytes >= maxBatchBytes {
+				if !flush() {
+					return
+				}
 			}
 			var ok bool
 			select {
 			case resp, ok = <-c.out:
 				if !ok {
-					bw.Flush()
+					flush()
 					return
 				}
 				continue
 			default:
 			}
-			if err := bw.Flush(); err != nil {
-				c.nc.Close()
+			if !flush() {
 				return
 			}
 			break
 		}
 	}
-	bw.Flush()
 }
 
 // isClosing reports errors expected at teardown: closed sockets and the

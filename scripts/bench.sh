@@ -13,6 +13,14 @@ benchtime="${2:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+# Which parity kernel backend this machine dispatches to (avx2, neon,
+# or generic): numbers from different backends are not comparable, so
+# the variant is recorded next to the results.
+kernel="$(go test -run '^TestKernelDispatch$' -v ./internal/parity \
+    | sed -n 's/.*parity kernel backend: //p' | head -n1)"
+kernel="${kernel:-unknown}"
+echo "== parity kernel backend: $kernel" >&2
+
 echo "== kernel benchmarks (internal/parity)" >&2
 go test -run '^$' -bench 'XORKernel|GFKernel' -benchmem \
     -benchtime "$benchtime" ./internal/parity | tee -a "$tmp" >&2
@@ -23,9 +31,9 @@ go test -run '^$' -bench 'FlushThroughput|StoreScrub|ChecksumVerify|TierSmallWri
 
 # Fold the standard benchmark lines into JSON: each line is
 #   BenchmarkName-P  <iters>  <value> <unit>  [<value> <unit>]...
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" -v kernel="$kernel" '
 BEGIN {
-    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"kernel\": \"%s\",\n  \"benchmarks\": [", date, gover, kernel
     n = 0
 }
 /^Benchmark/ {
