@@ -20,12 +20,21 @@
 // loss, and front-copy fail-stops, all checked against a byte-level
 // shadow.
 //
+// With -cluster the schedules target a real multi-node volume: four
+// afraidd servers over TCP, each behind a fault.Proxy, with seeded
+// network faults — black-hole and refused partitions, brownouts
+// absorbed by hedged reads, mid-frame resets, frame truncations, and
+// flap storms that must end in quarantine — every episode recovered
+// and audited byte-for-byte against the loss contract.
+//
 // Usage:
 //
 //	afraidchaos                              # 200 episodes, seed 1
 //	afraidchaos -episodes 500 -seed 7 -v
 //	afraidchaos -modes afraid,raid6 -ops 300
 //	afraidchaos -tier -episodes 200          # hybrid-tier schedules
+//	afraidchaos -cluster -episodes 200       # network-chaos schedules
+//	afraidchaos -cluster -class flap -v      # one fault class only
 package main
 
 import (
@@ -50,12 +59,17 @@ func main() {
 	checksums := flag.Bool("checksums", true, "open stores with block checksums and arm silent bit flips")
 	flips := flag.Bool("flips", true, "arm silent bit-flip faults (with -checksums=false they go undetected)")
 	tierRun := flag.Bool("tier", false, "run hybrid-tier schedules (internal/tier) instead of bare-store ones")
+	clusterRun := flag.Bool("cluster", false, "run network-chaos schedules against a proxied multi-node TCP volume")
+	classFlag := flag.String("class", "", "with -cluster: pin every episode to one fault class (partition, refuse, slow, reset, truncate, flap)")
 	verbose := flag.Bool("v", false, "print every episode")
 	failFast := flag.Bool("fail-fast", false, "stop at the first violation")
 	flag.Parse()
 
 	if *tierRun {
 		os.Exit(runTier(*seed, *episodes, *ops, *verbose, *failFast))
+	}
+	if *clusterRun {
+		os.Exit(runCluster(*seed, *episodes, *ops, *classFlag, *verbose, *failFast))
 	}
 
 	modes, err := parseModes(*modesFlag)

@@ -109,7 +109,10 @@ func runStatus(ctx context.Context, v *cluster.Volume, addrs []string, dialTO ti
 	fmt.Printf("  drains=%d degraded_reads=%d degraded_writes=%d healed=%d lost=%d failovers=%d high_water=%d\n",
 		st.Stats.ParityDrains, st.Stats.DegradedReads, st.Stats.DegradedWrites,
 		st.Stats.HealedStripes, st.Stats.LostStripes, st.Stats.NodeFailovers, st.Stats.DirtyHighWater)
-	fmt.Printf("%-4s %-22s %-8s %-10s %-10s %-14s %-20s %s\n", "NODE", "ADDR", "STATE", "STALE", "NODE-DIRTY", "NODE-CAPACITY", "TIER(res/hits/mig)", "CSUM(det/rep/lost)")
+	fmt.Printf("  hedged=%d hedge_wins=%d retries=%d retries_exhausted=%d auto_heals=%d quarantines=%d\n",
+		st.Stats.HedgedReads, st.Stats.HedgeWins, st.Stats.Retries,
+		st.Stats.RetriesExhausted, st.Stats.AutoHeals, st.Stats.Quarantines)
+	fmt.Printf("%-4s %-22s %-12s %-5s %-10s %-10s %-14s %-20s %s\n", "NODE", "ADDR", "STATE", "FAILS", "STALE", "NODE-DIRTY", "NODE-CAPACITY", "TIER(res/hits/mig)", "CSUM(det/rep/lost)")
 	for _, n := range st.Nodes {
 		nodeDirty, nodeCap, nodeTier, nodeCsum := "-", "-", "-", "-"
 		// Ask the daemon itself: its STAT carries its own array's
@@ -137,7 +140,7 @@ func runStatus(ctx context.Context, v *cluster.Volume, addrs []string, dialTO ti
 		if n.LastErr != "" {
 			state += " (" + n.LastErr + ")"
 		}
-		fmt.Printf("%-4d %-22s %-8s %-10d %-10s %-14s %-20s %s\n", n.Index, n.Addr, state, n.StaleStripes, nodeDirty, nodeCap, nodeTier, nodeCsum)
+		fmt.Printf("%-4d %-22s %-12s %-5d %-10d %-10s %-14s %-20s %s\n", n.Index, n.Addr, state, n.ConsecFails, n.StaleStripes, nodeDirty, nodeCap, nodeTier, nodeCsum)
 	}
 }
 

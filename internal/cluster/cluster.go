@@ -88,6 +88,13 @@ const (
 	// non-empty: a heal sweep (or routed writes) are still rebuilding
 	// units it missed while down.
 	StateHealing
+	// StateQuarantined is a down node the flap damper has fenced off:
+	// it failed FlapThreshold times inside FlapWindow, so the prober
+	// stops redialing and auto-healing it until an administrator
+	// (ClearQuarantine, HealNode) or the QuarantineDecay timer clears
+	// it. I/O routing is unchanged — the node is still down — the
+	// quarantine only ends the heal storm.
+	StateQuarantined
 )
 
 // String names the state.
@@ -99,6 +106,8 @@ func (s NodeState) String() string {
 		return "down"
 	case StateHealing:
 		return "healing"
+	case StateQuarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("NodeState(%d)", int(s))
 	}
@@ -111,4 +120,5 @@ type NodeInfo struct {
 	State        NodeState
 	StaleStripes int64  // units this node missed while down, not yet healed
 	LastErr      string // error that last marked the node down ("" when up)
+	ConsecFails  int    // demotions since the last clean heal
 }

@@ -23,6 +23,9 @@ type FaultNode struct {
 	slow        time.Duration
 	crashAfter  int64 // fail-stop before op N+1; <0 disabled
 	pFail       float64
+	flapUp      int64 // SetFlap: ops served per cycle (0 = flapping off)
+	flapDown    int64 // SetFlap: ops refused per cycle
+	flapPos     int64 // position inside the current flap cycle
 	rng         *rand.Rand
 	ops         int64
 	injected    int64
@@ -66,6 +69,7 @@ func (f *FaultNode) Restore() {
 	f.slow = 0
 	f.crashAfter = -1
 	f.pFail = 0
+	f.flapUp, f.flapDown, f.flapPos = 0, 0, 0
 	f.mu.Unlock()
 }
 
@@ -93,6 +97,19 @@ func (f *FaultNode) SetFailProb(p float64) {
 	f.mu.Unlock()
 }
 
+// SetFlap makes the node flap deterministically: upOps operations
+// succeed, then downOps fail as node-down, then it "restarts" and the
+// cycle repeats — the crash-after-N-ops, auto-restart machine a flap
+// damper must fence off. Unlike Crash the node recovers by itself, so
+// without damping the volume demotes, redials, and heals it forever.
+// SetFlap(0, 0) turns flapping off.
+func (f *FaultNode) SetFlap(upOps, downOps int64) {
+	f.mu.Lock()
+	f.flapUp, f.flapDown = upOps, downOps
+	f.flapPos = 0
+	f.mu.Unlock()
+}
+
 // Stats snapshots the injection counters.
 func (f *FaultNode) Stats() FaultNodeStats {
 	f.mu.Lock()
@@ -114,6 +131,15 @@ func (f *FaultNode) gate(ctx context.Context) error {
 		f.crashed = true
 	}
 	dead := f.crashed || f.partitioned
+	if !dead && f.flapUp > 0 && f.flapDown > 0 {
+		if f.flapPos >= f.flapUp {
+			dead = true
+		}
+		f.flapPos++
+		if f.flapPos >= f.flapUp+f.flapDown {
+			f.flapPos = 0 // restart: the node comes back by itself
+		}
+	}
 	slow := f.slow
 	if dead {
 		f.injected++

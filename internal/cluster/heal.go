@@ -31,10 +31,23 @@ type HealReport struct {
 // concurrent writes to a stripe being healed are serialised by the
 // stripe locks.
 func (v *Volume) HealNode(ctx context.Context, i int, full bool) (HealReport, error) {
-	var rep HealReport
 	if i < 0 || i >= len(v.nodes) {
-		return rep, fmt.Errorf("cluster: no node %d", i)
+		return HealReport{}, fmt.Errorf("cluster: no node %d", i)
 	}
+	// An explicit heal is an administrative act of trust: lift any flap
+	// quarantine — and forget the flap history, so the repaired node is
+	// not re-fenced on its first future wobble. The prober's auto-heals
+	// go through healNode directly and leave the history alone; that is
+	// what lets the damper count a flapping node's cycles at all.
+	v.meta.Lock()
+	v.clearQuarantineLocked(v.nodes[i])
+	v.meta.Unlock()
+	return v.healNode(ctx, i, full)
+}
+
+// healNode is HealNode without the administrative quarantine reset.
+func (v *Volume) healNode(ctx context.Context, i int, full bool) (HealReport, error) {
+	var rep HealReport
 	v.meta.Lock()
 	m := v.nodes[i]
 	if v.closed {
@@ -42,27 +55,12 @@ func (v *Volume) HealNode(ctx context.Context, i int, full bool) (HealReport, er
 		return rep, ErrClosed
 	}
 	needDial := m.state == StateDown || m.node == nil
-	dial := m.dial
 	v.meta.Unlock()
 
 	if needDial {
-		if dial == nil {
-			return rep, fmt.Errorf("%w: node %d has no dialer", ErrNodeDown, i)
+		if err := v.redialNode(i); err != nil {
+			return rep, err
 		}
-		n, err := dial()
-		if err != nil {
-			return rep, fmt.Errorf("cluster: redial node %d: %w", i, err)
-		}
-		if c := n.Capacity(); c < v.geo.DiskSize {
-			n.Close()
-			return rep, fmt.Errorf("cluster: node %d shrank: capacity %d < %d", i, c, v.geo.DiskSize)
-		}
-		v.meta.Lock()
-		m.node = n
-		m.state = StateUp
-		m.lastErr = nil
-		m.gen++
-		v.meta.Unlock()
 		v.logf("cluster: node %d (%s) redialed, healing", i, m.addr)
 	}
 
@@ -89,7 +87,60 @@ func (v *Volume) HealNode(ctx context.Context, i int, full bool) (HealReport, er
 	case v.kick <- struct{}{}:
 	default:
 	}
+	v.meta.Lock()
+	if m.state == StateUp {
+		m.consecFails = 0 // clean sweep: the node earned its record back
+	}
+	v.meta.Unlock()
 	return rep, nil
+}
+
+// redialNode dials a down member, sanity-checks the replacement
+// connection, and promotes it to StateUp under a fresh generation. It
+// does not rebuild anything — callers schedule the heal.
+func (v *Volume) redialNode(i int) error {
+	v.meta.Lock()
+	m := v.nodes[i]
+	if v.closed {
+		v.meta.Unlock()
+		return ErrClosed
+	}
+	if m.state == StateUp && m.node != nil {
+		v.meta.Unlock()
+		return nil
+	}
+	dial := m.dial
+	v.meta.Unlock()
+	if dial == nil {
+		return fmt.Errorf("%w: node %d has no dialer", ErrNodeDown, i)
+	}
+	n, err := dial()
+	if err != nil {
+		return fmt.Errorf("cluster: redial node %d: %w", i, err)
+	}
+	if c := n.Capacity(); c < v.geo.DiskSize {
+		n.Close()
+		return fmt.Errorf("cluster: node %d shrank: capacity %d < %d", i, c, v.geo.DiskSize)
+	}
+	v.meta.Lock()
+	if v.closed {
+		v.meta.Unlock()
+		n.Close()
+		return ErrClosed
+	}
+	if m.state == StateUp && m.node != nil {
+		// Lost the race to another redial; this conn is surplus.
+		v.meta.Unlock()
+		n.Close()
+		return nil
+	}
+	m.node = n
+	m.state = StateUp
+	m.lastErr = nil
+	m.gen++
+	v.meta.Unlock()
+	v.logf("cluster: node %d (%s) redialed", i, m.addr)
+	return nil
 }
 
 // healStripe rebuilds node i's unit of one stripe, if it needs it.

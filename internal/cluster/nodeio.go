@@ -21,6 +21,15 @@ type volObs struct {
 	nodeWrite []*obs.Histogram
 	drain     *obs.Histogram
 	heal      *obs.Histogram
+	readOp    *obs.Histogram // whole-volume read latency (what hedging bends)
+	writeOp   *obs.Histogram // whole-volume write latency
+
+	hedged           *obs.Counter
+	hedgeWins        *obs.Counter
+	retries          *obs.Counter
+	retriesExhausted *obs.Counter
+	quarantines      *obs.Counter
+	autoHeals        *obs.Counter
 }
 
 func newVolObs(n int) *volObs {
@@ -35,6 +44,14 @@ func newVolObs(n int) *volObs {
 	}
 	ob.drain = ob.reg.Histogram("drain.stripe")
 	ob.heal = ob.reg.Histogram("heal.stripe")
+	ob.readOp = ob.reg.Histogram("read.op")
+	ob.writeOp = ob.reg.Histogram("write.op")
+	ob.hedged = ob.reg.Counter("read.hedged")
+	ob.hedgeWins = ob.reg.Counter("read.hedge_wins")
+	ob.retries = ob.reg.Counter("span.retries")
+	ob.retriesExhausted = ob.reg.Counter("span.retries_exhausted")
+	ob.quarantines = ob.reg.Counter("node.quarantines")
+	ob.autoHeals = ob.reg.Counter("node.auto_heals")
 	return ob
 }
 
@@ -139,7 +156,11 @@ func isNodeDownErr(err error) bool {
 
 // markDown transitions node i to StateDown. The gen check makes demote
 // racing redial safe: a failure observed on the old connection cannot
-// kill a freshly dialed one.
+// kill a freshly dialed one. Each demotion is also a flap event: a node
+// that accumulates FlapThreshold of them inside FlapWindow is
+// quarantined, which fences it off from the prober's redial/auto-heal
+// cycle (I/O routing is already around it) and ends the heal storm a
+// flapping node otherwise drives.
 func (v *Volume) markDown(i int, gen uint64, cause error) {
 	v.meta.Lock()
 	m := v.nodes[i]
@@ -152,11 +173,56 @@ func (v *Volume) markDown(i int, gen uint64, cause error) {
 	old := m.node
 	m.node = nil
 	v.stats.NodeFailovers++
+	m.consecFails++
+	quarantined := false
+	if v.opts.FlapThreshold > 0 {
+		now := time.Now()
+		cut := now.Add(-v.opts.FlapWindow)
+		keep := m.failTimes[:0]
+		for _, ts := range m.failTimes {
+			if ts.After(cut) {
+				keep = append(keep, ts)
+			}
+		}
+		m.failTimes = append(keep, now)
+		if len(m.failTimes) >= v.opts.FlapThreshold && !m.quarantined {
+			m.quarantined = true
+			m.quarantineAt = now
+			v.stats.Quarantines++
+			quarantined = true
+		}
+	}
+	fails := len(m.failTimes)
 	v.meta.Unlock()
 	if old != nil {
 		go old.Close()
 	}
 	v.logf("cluster: node %d (%s) down: %v", i, m.addr, cause)
+	if quarantined {
+		v.ob.quarantines.Inc()
+		v.logf("cluster: node %d (%s) QUARANTINED: %d failures within %v; no auto-heal until cleared",
+			i, m.addr, fails, v.opts.FlapWindow)
+	}
+}
+
+// ClearQuarantine lifts the flap damper's fence from node i, letting
+// the prober redial and auto-heal it again — the administrative "I
+// fixed the machine" switch. HealNode implies it.
+func (v *Volume) ClearQuarantine(i int) error {
+	if i < 0 || i >= len(v.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	v.meta.Lock()
+	v.clearQuarantineLocked(v.nodes[i])
+	v.meta.Unlock()
+	return nil
+}
+
+func (v *Volume) clearQuarantineLocked(m *member) {
+	m.quarantined = false
+	m.failTimes = nil
+	m.probeBackoff = 0
+	m.nextProbe = time.Time{}
 }
 
 // FailNode manually demotes a node, as if its next operation had failed
@@ -180,7 +246,11 @@ func (v *Volume) logf(format string, args ...any) {
 
 // probeLoop is the optional background health prober: it pings up
 // nodes so a silently dead one is demoted before a client write trips
-// over it, and redials+heals down nodes when they answer again.
+// over it, and redials down nodes when they answer again, handing the
+// rebuild to a background auto-heal. Every node is probed concurrently
+// — one member wedged at NodeTimeout must not delay detection of the
+// next by N×timeout — with a per-node in-flight guard so a wedged probe
+// never stacks another behind it.
 func (v *Volume) probeLoop() {
 	defer v.wg.Done()
 	t := time.NewTicker(v.opts.ProbeInterval)
@@ -192,34 +262,146 @@ func (v *Volume) probeLoop() {
 		case <-t.C:
 		}
 		for i := range v.nodes {
-			select {
-			case <-v.stop:
-				return
-			default:
+			if !v.beginProbe(i) {
+				continue
 			}
-			v.probeNode(i)
+			v.wg.Add(1)
+			go func(i int) {
+				defer v.wg.Done()
+				v.probeNode(i)
+			}(i)
 		}
 	}
 }
 
+// beginProbe decides whether node i gets a probe this tick and claims
+// its in-flight slot. Down nodes are subject to the redial backoff and
+// the flap quarantine; a quarantine past its decay is lifted here.
+func (v *Volume) beginProbe(i int) bool {
+	v.meta.Lock()
+	m := v.nodes[i]
+	if v.closed || m.probing {
+		v.meta.Unlock()
+		return false
+	}
+	decayed := false
+	if m.state == StateDown {
+		if m.quarantined {
+			if v.opts.QuarantineDecay < 0 || time.Since(m.quarantineAt) < v.opts.QuarantineDecay {
+				v.meta.Unlock()
+				return false
+			}
+			v.clearQuarantineLocked(m)
+			decayed = true
+		}
+		if m.dial == nil || time.Now().Before(m.nextProbe) {
+			v.meta.Unlock()
+			return false
+		}
+	}
+	m.probing = true
+	v.meta.Unlock()
+	if decayed {
+		v.logf("cluster: node %d (%s) quarantine decayed, probing again", i, m.addr)
+	}
+	return true
+}
+
 func (v *Volume) probeNode(i int) {
+	defer func() {
+		v.meta.Lock()
+		v.nodes[i].probing = false
+		v.meta.Unlock()
+	}()
 	v.meta.Lock()
 	m := v.nodes[i]
 	state, n, gen := m.state, m.node, m.gen
 	v.meta.Unlock()
 	switch {
 	case state == StateUp && n != nil:
-		ctx, cancel := context.WithTimeout(context.Background(), v.opts.NodeTimeout)
+		ctx, cancel := context.WithTimeout(v.bgCtx, v.opts.NodeTimeout)
 		err := n.Ping(ctx)
 		cancel()
 		if err != nil && isNodeDownErr(err) {
 			v.markDown(i, gen, err)
 		}
-	case state == StateDown && m.dial != nil:
-		ctx, cancel := context.WithTimeout(context.Background(), v.opts.NodeTimeout)
-		defer cancel()
-		if _, err := v.HealNode(ctx, i, false); err == nil {
-			v.logf("cluster: node %d (%s) back up, heal scheduled", i, m.addr)
+	case state == StateDown:
+		if err := v.redialNode(i); err != nil {
+			// Still unreachable: back off so a dead node is not hammered
+			// every tick (backoff doubles up to ProbeBackoffMax).
+			v.meta.Lock()
+			if m.probeBackoff == 0 {
+				m.probeBackoff = v.opts.ProbeInterval
+			} else {
+				m.probeBackoff *= 2
+			}
+			if m.probeBackoff > v.opts.ProbeBackoffMax {
+				m.probeBackoff = v.opts.ProbeBackoffMax
+			}
+			m.nextProbe = time.Now().Add(m.probeBackoff)
+			v.meta.Unlock()
+			return
 		}
+		v.meta.Lock()
+		m.probeBackoff = 0
+		m.nextProbe = time.Time{}
+		v.meta.Unlock()
+		v.startAutoHeal(i)
 	}
+}
+
+// startAutoHeal launches one background heal of node i, if none is in
+// flight. The heal runs under the volume's background context — a
+// generous lifetime ended only by Close, not the prober's tick or
+// NodeTimeout — so a large stale backlog is rebuilt once instead of
+// being killed mid-sweep and restarted every probe interval.
+func (v *Volume) startAutoHeal(i int) {
+	v.meta.Lock()
+	m := v.nodes[i]
+	if v.closed || m.healing {
+		v.meta.Unlock()
+		return
+	}
+	m.healing = true
+	v.stats.AutoHeals++
+	v.wg.Add(1)
+	v.meta.Unlock()
+	v.ob.autoHeals.Inc()
+	v.logf("cluster: node %d (%s) back up, auto-heal started", i, m.addr)
+	go func() {
+		defer v.wg.Done()
+		// Quiesce before rebuilding: the wire protocol has no write
+		// fencing, so a request that was in flight when the link failed
+		// can still be delivered now that it is back (network-buffered
+		// during a partition, for example). Every such zombie write
+		// targets a stripe the marking memory already calls stale — the
+		// demotion marked it before rerouting — so letting them land
+		// first guarantees the rebuild, not the zombie, writes last.
+		// The successful redial proves the link forwards again, so the
+		// backlog drains in RTTs; NodeTimeout (capped) is generous.
+		settle := v.opts.NodeTimeout
+		if settle > 500*time.Millisecond {
+			settle = 500 * time.Millisecond
+		}
+		t := time.NewTimer(settle)
+		select {
+		case <-v.bgCtx.Done():
+			t.Stop()
+			v.meta.Lock()
+			m.healing = false
+			v.meta.Unlock()
+			return
+		case <-t.C:
+		}
+		rep, err := v.healNode(v.bgCtx, i, false)
+		v.meta.Lock()
+		m.healing = false
+		v.meta.Unlock()
+		if err != nil {
+			v.logf("cluster: auto-heal node %d: %v", i, err)
+			return
+		}
+		v.logf("cluster: auto-heal node %d done: healed=%d lost=%d remaining=%d",
+			i, rep.Healed, len(rep.Lost), rep.Remaining)
+	}()
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; timing-sensitive assertions widen their margins under it.
+const raceEnabled = true

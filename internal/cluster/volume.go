@@ -2,10 +2,10 @@ package cluster
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"afraid/internal/core"
@@ -44,6 +44,40 @@ type Options struct {
 	// Workers bounds the stripes drained or healed concurrently by
 	// Flush, ParityPoint, and HealNode (default min(GOMAXPROCS, 4)).
 	Workers int
+	// HedgeDelay controls hedged reads, the volume's tail-latency
+	// defence: a unit read that has not answered after the delay is
+	// re-issued to the reconstruction path (survivors + parity) and the
+	// first success wins. 0 (the default) derives the delay from the
+	// live p99 of node reads; a positive value fixes it; a negative
+	// value disables hedging.
+	HedgeDelay time.Duration
+	// RetryBudget bounds how many times one span retries after a node
+	// demotion re-routes it (0 = nodes+1, matching the old behaviour;
+	// negative disables retries).
+	RetryBudget int
+	// RetryBase is the first backoff step between span retries (default
+	// 2 ms). The first retry is immediate — a demotion means the next
+	// attempt routes differently — backoff starts at the second and
+	// doubles with jitter up to RetryMaxBackoff.
+	RetryBase time.Duration
+	// RetryMaxBackoff caps the exponential backoff (default 250 ms).
+	RetryMaxBackoff time.Duration
+	// FlapThreshold is the flap damper: a node demoted this many times
+	// inside FlapWindow is quarantined — the prober stops redialing and
+	// auto-healing it until ClearQuarantine, HealNode, or
+	// QuarantineDecay. Default 3; negative disables damping.
+	FlapThreshold int
+	// FlapWindow is the sliding window the damper counts demotions in
+	// (default 1 minute).
+	FlapWindow time.Duration
+	// QuarantineDecay auto-clears a quarantine after this long, letting
+	// the prober try the node again (default 5 minutes; negative means
+	// only an administrator clears it).
+	QuarantineDecay time.Duration
+	// ProbeBackoffMax caps the prober's per-node redial backoff, which
+	// starts at ProbeInterval and doubles per failed redial (default
+	// max(1s, 8×ProbeInterval)).
+	ProbeBackoffMax time.Duration
 	// NV, when set, persists the volume's marking memory (dirty map and
 	// per-node stale maps), so a restarted volume host resumes the
 	// parity rebuild where it left off — the cluster analogue of the
@@ -76,6 +110,27 @@ func (o *Options) fill() {
 			o.Workers = 4
 		}
 	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 2 * time.Millisecond
+	}
+	if o.RetryMaxBackoff == 0 {
+		o.RetryMaxBackoff = 250 * time.Millisecond
+	}
+	if o.FlapThreshold == 0 {
+		o.FlapThreshold = 3
+	}
+	if o.FlapWindow == 0 {
+		o.FlapWindow = time.Minute
+	}
+	if o.QuarantineDecay == 0 {
+		o.QuarantineDecay = 5 * time.Minute
+	}
+	if o.ProbeBackoffMax == 0 {
+		o.ProbeBackoffMax = 8 * o.ProbeInterval
+		if o.ProbeBackoffMax < time.Second {
+			o.ProbeBackoffMax = time.Second
+		}
+	}
 }
 
 // Stats counts volume activity.
@@ -89,6 +144,12 @@ type Stats struct {
 	HealedStripes           uint64 // stripe units rebuilt onto a returned node
 	LostStripes             uint64 // stripes reported unrecoverable (dirty at node loss)
 	NodeFailovers           uint64 // times a node was declared down
+	HedgedReads             uint64 // straggling unit reads re-issued to the reconstruction path
+	HedgeWins               uint64 // hedges that answered before the straggler
+	Retries                 uint64 // span attempts re-run after a node demotion re-routed them
+	RetriesExhausted        uint64 // spans that used their whole retry budget and still failed
+	Quarantines             uint64 // nodes fenced off by the flap damper
+	AutoHeals               uint64 // background heals started by the prober
 	DirtyStripes            int64
 	DirtyHighWater          int64 // widest the cluster unredundancy window ever got
 	Recovered               bool  // marking memory was unusable; full parity rebuild scheduled
@@ -102,10 +163,20 @@ type member struct {
 
 	// Guarded by Volume.meta.
 	node    Node
-	state   NodeState // StateUp or StateDown; Healing is derived from stale
+	state   NodeState // StateUp or StateDown; Healing/Quarantined are derived
 	stale   *nvram.Bitmap
 	lastErr error
 	gen     uint64 // bumped per (re)dial so stale failures can't kill a fresh conn
+
+	// Flap damping and prober state, guarded by Volume.meta.
+	failTimes    []time.Time   // recent demotions, pruned to FlapWindow
+	consecFails  int           // demotions since the last clean heal
+	quarantined  bool          // fenced off from prober redial/auto-heal
+	quarantineAt time.Time     // when the fence went up (for QuarantineDecay)
+	probeBackoff time.Duration // current redial backoff (0 = ProbeInterval)
+	nextProbe    time.Time     // earliest next redial attempt
+	probing      bool          // a probe of this node is in flight
+	healing      bool          // a background heal of this node is in flight
 }
 
 // Volume is a distributed AFRAID array: one logical block space striped
@@ -128,6 +199,17 @@ type Volume struct {
 	kick chan struct{} // write-path handoff to drainLoop (capacity 1)
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// bgCtx outlives any one probe tick: background heals run under it
+	// so they are killed by Close, not by a probe interval (the old bug
+	// cancelled heals after NodeTimeout every tick).
+	bgCtx    context.Context
+	bgCancel context.CancelFunc
+
+	// Cached auto hedge delay (ns) and when it was computed (unix ns),
+	// so the hot read path does not merge histograms per extent.
+	hedgeNS   atomic.Int64
+	hedgeEval atomic.Int64
 }
 
 // Open assembles a volume over the members. Members whose Node is nil
@@ -187,6 +269,10 @@ func Open(members []Member, opts Options) (*Volume, error) {
 		kick:   make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 	}
+	v.bgCtx, v.bgCancel = context.WithCancel(context.Background())
+	if v.opts.RetryBudget == 0 {
+		v.opts.RetryBudget = len(members) + 1
+	}
 	v.dirty = nvram.NewBitmap(geo.Stripes())
 	for _, m := range nodes {
 		m.stale = nvram.NewBitmap(geo.Stripes())
@@ -240,6 +326,7 @@ func (v *Volume) Close() error {
 	v.closed = true
 	v.meta.Unlock()
 	close(v.stop)
+	v.bgCancel()
 	v.wg.Wait()
 	var first error
 	v.meta.Lock()
@@ -292,12 +379,20 @@ func (v *Volume) NodeStates() []NodeInfo {
 	defer v.meta.Unlock()
 	out := make([]NodeInfo, len(v.nodes))
 	for i, m := range v.nodes {
-		info := NodeInfo{Index: i, Addr: m.addr, State: m.state, StaleStripes: m.stale.Count()}
+		info := NodeInfo{
+			Index: i, Addr: m.addr, State: m.state,
+			StaleStripes: m.stale.Count(), ConsecFails: m.consecFails,
+		}
 		if m.state == StateUp && info.StaleStripes > 0 {
 			info.State = StateHealing
 		}
-		if m.lastErr != nil && m.state == StateDown {
-			info.LastErr = m.lastErr.Error()
+		if m.state == StateDown {
+			if m.quarantined {
+				info.State = StateQuarantined
+			}
+			if m.lastErr != nil {
+				info.LastErr = m.lastErr.Error()
+			}
 		}
 		out[i] = info
 	}
@@ -409,26 +504,20 @@ func (v *Volume) ReadContext(ctx context.Context, p []byte, off int64) (int, err
 		return 0, nil
 	}
 	v.touch()
+	t0 := time.Now()
 	for _, sp := range v.geo.Split(off, int64(len(p))) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 		lk := v.stripeLock(sp.Stripe)
 		lk.Lock()
-		var err error
-		for tries := 0; ; tries++ {
-			err = v.readSpan(ctx, p, off, sp)
-			// A node declared down mid-span moves the volume to
-			// degraded routing; retry the span against the new health.
-			if err == nil || tries >= len(v.nodes) || !errors.Is(err, ErrNodeDown) {
-				break
-			}
-		}
+		err := v.retrySpan(ctx, func() error { return v.readSpan(ctx, p, off, sp) })
 		lk.Unlock()
 		if err != nil {
 			return 0, err
 		}
 	}
+	v.ob.readOp.Observe(time.Since(t0))
 	v.meta.Lock()
 	v.stats.Reads++
 	v.stats.BytesRead += int64(len(p))
@@ -439,12 +528,22 @@ func (v *Volume) ReadContext(ctx context.Context, p []byte, off int64) (int, err
 // readSpan serves one stripe's extents. Caller holds the stripe lock.
 func (v *Volume) readSpan(ctx context.Context, p []byte, base int64, sp layout.StripeSpan) error {
 	h := v.health(sp.Stripe)
+	// Hedging needs a fully redundant stripe: every data node up with
+	// fresh units and the parity unit readable, so the reconstruction
+	// path can answer for any straggler.
+	canHedge := !h.dirty && len(h.badIdx) == 0 && h.parityRead
 	for _, e := range sp.Extents {
 		dst := p[e.ArrOff-base : e.ArrOff-base+e.Len]
 		v.meta.Lock()
 		ok := v.availLocked(e.Disk, sp.Stripe)
 		v.meta.Unlock()
 		if ok {
+			if hd := v.hedgeDelay(); hd > 0 && canHedge {
+				if err := v.hedgedReadExtent(ctx, dst, sp.Stripe, e, hd); err != nil {
+					return err
+				}
+				continue
+			}
 			if err := v.nodeRead(ctx, e.Disk, dst, e.DiskOff); err != nil {
 				return err
 			}
@@ -488,24 +587,20 @@ func (v *Volume) WriteContext(ctx context.Context, p []byte, off int64) (int, er
 		return 0, nil
 	}
 	v.touch()
+	t0 := time.Now()
 	for _, sp := range v.geo.Split(off, int64(len(p))) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 		lk := v.stripeLock(sp.Stripe)
 		lk.Lock()
-		var err error
-		for tries := 0; ; tries++ {
-			err = v.writeSpan(ctx, p, off, sp)
-			if err == nil || tries >= len(v.nodes) || !errors.Is(err, ErrNodeDown) {
-				break
-			}
-		}
+		err := v.retrySpan(ctx, func() error { return v.writeSpan(ctx, p, off, sp) })
 		lk.Unlock()
 		if err != nil {
 			return 0, err
 		}
 	}
+	v.ob.writeOp.Observe(time.Since(t0))
 	v.meta.Lock()
 	v.stats.Writes++
 	v.stats.BytesWritten += int64(len(p))
